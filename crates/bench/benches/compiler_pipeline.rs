@@ -1,0 +1,73 @@
+//! Wall-clock benchmarks of the compiler pipeline itself: how long does it
+//! take to recover comprehensions, normalize, fuse, and lower each paper
+//! program? (The paper's pipeline runs at Scala compile time; ours at
+//! program-construction time — either way it must be cheap.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use emma::algorithms::{kmeans, pagerank, spam, tpch};
+use emma::prelude::*;
+use emma_datagen::points::{self, PointsSpec};
+
+fn bench_parallelize(c: &mut Criterion) {
+    let spec = PointsSpec::default();
+    let programs: Vec<(&str, Program)> = vec![
+        (
+            "workflow",
+            spam::program(emma_datagen::emails::classifiers(3)),
+        ),
+        (
+            "kmeans",
+            kmeans::program(
+                &kmeans::KmeansParams::default(),
+                points::initial_centroids(&spec),
+            ),
+        ),
+        (
+            "pagerank",
+            pagerank::program(&pagerank::PagerankParams::default()),
+        ),
+        ("tpch_q1", tpch::q1_program()),
+        ("tpch_q4", tpch::q4_program()),
+    ];
+    let mut group = c.benchmark_group("parallelize");
+    for (name, program) in &programs {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let compiled = parallelize(std::hint::black_box(program), &OptimizerFlags::all());
+                std::hint::black_box(compiled)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_flags(c: &mut Criterion) {
+    // Compile-time cost of the individual pipeline stages on Q4 (the
+    // richest program: inlining + unnesting + fusion all fire).
+    let program = tpch::q4_program();
+    let configs: Vec<(&str, OptimizerFlags)> = vec![
+        ("none", OptimizerFlags::none()),
+        (
+            "normalize_only",
+            OptimizerFlags::none().with_normalization(true),
+        ),
+        (
+            "plus_unnest",
+            OptimizerFlags::none()
+                .with_normalization(true)
+                .with_unnest_exists(true),
+        ),
+        ("all", OptimizerFlags::all()),
+    ];
+    let mut group = c.benchmark_group("q4_pipeline_stages");
+    for (name, flags) in &configs {
+        group.bench_function(*name, |b| {
+            b.iter(|| std::hint::black_box(parallelize(std::hint::black_box(&program), flags)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallelize, bench_ablation_flags);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion wrapper around the Figure 4 experiment: wall-clock of the
+//! *whole system* (compile + simulate + really execute) per optimization
+//! configuration, on a reduced workload. The paper-shaped simulated-time
+//! results come from `cargo run -p emma-bench --bin fig4`; this bench tracks
+//! regression of the implementation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use emma::algorithms::spam;
+use emma::prelude::*;
+use emma_datagen::emails::{classifiers, EmailSpec};
+
+fn workload() -> (Program, Catalog) {
+    let spec = EmailSpec {
+        emails: 400,
+        blacklist: 100,
+        ip_domain: 400,
+        body_bytes: 60,
+        info_bytes: 30,
+        seed: 42,
+    };
+    (spam::program(classifiers(2)), spam::catalog(&spec))
+}
+
+fn bench_fig4_configs(c: &mut Criterion) {
+    let (program, catalog) = workload();
+    let configs: Vec<(&str, OptimizerFlags)> = vec![
+        (
+            "baseline",
+            OptimizerFlags::all()
+                .with_unnest_exists(false)
+                .with_caching(false)
+                .with_partition_pulling(false),
+        ),
+        (
+            "unnesting",
+            OptimizerFlags::all()
+                .with_caching(false)
+                .with_partition_pulling(false),
+        ),
+        (
+            "unnest_cache",
+            OptimizerFlags::all().with_partition_pulling(false),
+        ),
+        ("unnest_cache_partition", OptimizerFlags::all()),
+    ];
+    let mut group = c.benchmark_group("fig4_workflow_wallclock");
+    group.sample_size(10);
+    for (name, flags) in &configs {
+        let compiled = parallelize(&program, flags);
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let engine = Engine::sparrow();
+                std::hint::black_box(engine.run(&compiled, &catalog).expect("run"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_configs);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion wrapper around the Figure 5 aggregation: wall-clock of the
+//! fused vs un-fused group aggregation over the three key distributions, on
+//! a reduced workload. The paper-shaped simulated-time sweep comes from
+//! `cargo run -p emma-bench --bin fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use emma::algorithms::groupagg;
+use emma::prelude::*;
+use emma_datagen::KeyDistribution;
+
+fn bench_groupagg(c: &mut Criterion) {
+    let program = groupagg::program();
+    let mut group = c.benchmark_group("fig5_groupagg_wallclock");
+    group.sample_size(10);
+    for dist in KeyDistribution::all() {
+        let catalog = groupagg::catalog(20_000, 256, dist, 42);
+        for fused in [true, false] {
+            let flags = OptimizerFlags::all().with_fold_group_fusion(fused);
+            let compiled = parallelize(&program, &flags);
+            let label = format!(
+                "{}_{}",
+                dist.name(),
+                if fused { "fused" } else { "unfused" }
+            );
+            group.bench_function(&label, |b| {
+                b.iter(|| {
+                    let engine = Engine::sparrow();
+                    std::hint::black_box(engine.run(&compiled, &catalog).expect("run"))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_groupagg);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Wall-clock benchmarks of the typed local `DataBag` — the host-language
+//! execution layer programmers iterate against before parallelizing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use emma_core::fold::aliases;
+use emma_core::DataBag;
+
+fn data(n: i64) -> DataBag<(i64, i64)> {
+    DataBag::from_seq((0..n).map(|i| (i % 64, i)))
+}
+
+fn bench_fold(c: &mut Criterion) {
+    let bag = data(100_000);
+    c.bench_function("databag_fold_sum_100k", |b| {
+        b.iter(|| std::hint::black_box(bag.isum_by(|x| x.1)))
+    });
+    c.bench_function("databag_fold_minby_100k", |b| {
+        b.iter(|| std::hint::black_box(bag.min_by(|x| x.1)))
+    });
+}
+
+fn bench_group_vs_agg(c: &mut Criterion) {
+    // The local mirror of fold-group fusion: groupBy + fold vs fused aggBy.
+    let bag = data(100_000);
+    let fold = aliases::isum_by(|x: &(i64, i64)| x.1);
+    c.bench_function("databag_group_then_fold_100k", |b| {
+        b.iter(|| {
+            let groups = bag.group_by(|x| x.0);
+            std::hint::black_box(groups.map(|g| (g.key, g.values.isum_by(|x| x.1))))
+        })
+    });
+    c.bench_function("databag_agg_by_100k", |b| {
+        b.iter(|| std::hint::black_box(bag.agg_by(|x| x.0, &fold)))
+    });
+}
+
+fn bench_monad_ops(c: &mut Criterion) {
+    let bag = data(100_000);
+    c.bench_function("databag_map_filter_100k", |b| {
+        b.iter(|| std::hint::black_box(bag.with_filter(|x| x.1 % 3 == 0).map(|x| (x.0, x.1 * 2))))
+    });
+    c.bench_function("databag_distinct_100k", |b| {
+        b.iter_batched(
+            || bag.map(|x| x.0),
+            |keys| std::hint::black_box(keys.distinct()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_fold, bench_group_vs_agg, bench_monad_ops);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates Figure 4: speedups of the optimization sets over the
+//! un-optimized baseline for the data-parallel workflow, on both engines.
+
+use emma_bench::{fig4, print_table};
+
+fn main() {
+    let results = fig4::run();
+    let paper: [(&str, [f64; 4]); 2] = [
+        ("spark", [1.50, 1.50, 3.86, 4.18]),
+        ("flink", [6.56, 6.56, 12.07, 18.16]),
+    ];
+    let mut rows = Vec::new();
+    for r in &results {
+        let speedups = r.speedups();
+        let paper_row = paper
+            .iter()
+            .find(|(n, _)| r.engine.starts_with(n))
+            .map(|(_, v)| *v)
+            .unwrap_or([0.0; 4]);
+        for (i, config) in fig4::CONFIGS.iter().enumerate().skip(1) {
+            rows.push(vec![
+                r.engine.to_string(),
+                config.to_string(),
+                format!("{:.2}x", speedups[i - 1]),
+                format!("{:.2}x", paper_row[i - 1]),
+            ]);
+        }
+        rows.push(vec![
+            r.engine.to_string(),
+            "(baseline runtime)".to_string(),
+            format!("{:.0}s", r.baseline_secs),
+            "-".to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 4 — workflow optimization speedups (measured vs paper)",
+        &["Engine", "Configuration", "Speedup", "Paper"],
+        &rows,
+    );
+}

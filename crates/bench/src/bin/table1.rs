@@ -1,0 +1,44 @@
+//! Regenerates the paper's Table 1 from the optimizer's own reports.
+
+use emma_bench::{print_table, table1};
+
+fn main() {
+    let rows = table1::run();
+    let mark = |b: bool| if b { "X" } else { "-" }.to_string();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let paper = table1::PAPER
+                .iter()
+                .find(|(n, _)| *n == r.program)
+                .map(|(_, p)| *p)
+                .unwrap_or([false; 4]);
+            vec![
+                r.program.to_string(),
+                mark(r.applied[0]),
+                mark(r.applied[1]),
+                mark(r.applied[2]),
+                mark(r.applied[3]),
+                format!(
+                    "{}{}{}{}",
+                    mark(paper[0]),
+                    mark(paper[1]),
+                    mark(paper[2]),
+                    mark(paper[3])
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1 — applicable optimizations (measured vs paper)",
+        &[
+            "Program",
+            "Unnesting",
+            "GroupFusion",
+            "Cache",
+            "Partition",
+            "Paper(UGCP)",
+        ],
+        &table,
+    );
+}

@@ -1,0 +1,40 @@
+//! Regenerates the Section 5.2 TPC-H results: Q1 and Q4 with and without
+//! the logical optimizations.
+
+use emma_bench::{print_table, tpch_experiment};
+
+fn main() {
+    let rows = tpch_experiment::run();
+    let paper = |q: &str, engine: &str| -> &'static str {
+        match (q, engine.starts_with("spark")) {
+            ("Q1", true) => ">1h / 466s",
+            ("Q1", false) => ">1h / 240s",
+            ("Q4", true) => ">1h / 577s",
+            ("Q4", false) => ">1h / 569s",
+            _ => "-",
+        }
+    };
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.query.to_string(),
+                r.engine.to_string(),
+                r.unoptimized.display(),
+                r.optimized.display(),
+                paper(r.query, r.engine).to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Section 5.2 — TPC-H Q1/Q4 (measured vs paper)",
+        &[
+            "Query",
+            "Engine",
+            "Unoptimized",
+            "Optimized",
+            "Paper (unopt/opt)",
+        ],
+        &table,
+    );
+}

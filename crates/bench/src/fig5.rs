@@ -1,0 +1,105 @@
+//! Figure 5: effect of fold-group fusion on the scalability of a group
+//! aggregation (`min`) under different key distributions
+//! (paper, Appendix B).
+//!
+//! The query `for (g <- dataset.groupBy(_.key)) yield (g.key,
+//! g.values.map(_.value).min())` runs over DOP ∈ {80, 160, 320, 640} with
+//! the dataset growing proportionally to the DOP (the paper provisions 5 M
+//! tuples per execution unit), for uniform / Gaussian / Pareto key
+//! distributions, with and without fusion, on both engines.
+//!
+//! Shapes to reproduce:
+//!
+//! * with GF both engines compute all distributions with almost no overhead
+//!   and Flink scales linearly;
+//! * without GF, Gaussian is slightly slower than uniform;
+//! * without GF on Pareto (~35 % of tuples on one key), Spark fails to
+//!   finish within the 40-minute limit;
+//! * Spark without GF exhibits superlinear growth in the DOP.
+
+use emma::algorithms::groupagg;
+use emma::prelude::*;
+use emma_datagen::KeyDistribution;
+
+use crate::Outcome;
+
+/// The DOP sweep of the figure (nodes × 8 cores).
+pub const DOPS: [usize; 4] = [80, 160, 320, 640];
+
+/// Appendix B uses a 40-minute limit for this experiment.
+pub const FIG5_TIMEOUT_SECS: f64 = 2_400.0;
+
+/// Rows provisioned per execution unit (paper: 5 M ≈ 125 MB; scaled 1/2000).
+pub const ROWS_PER_DOP_UNIT: usize = 2_500;
+
+/// Per-worker memory, scaled by the same factor as the data (1/2000 of the
+/// paper's 2 GB per worker slot).
+pub const MEM_PER_WORKER: u64 = 1024 * 1024;
+
+/// Number of distinct keys in the generated datasets.
+pub const NUM_KEYS: i64 = 1_000;
+
+/// One measured series point.
+#[derive(Clone, Debug)]
+pub struct Fig5Point {
+    /// Degree of parallelism.
+    pub dop: usize,
+    /// Runtime outcome.
+    pub outcome: Outcome,
+}
+
+/// One measured series (engine × GF × distribution).
+#[derive(Clone, Debug)]
+pub struct Fig5Series {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Whether fold-group fusion was enabled.
+    pub fused: bool,
+    /// Key distribution.
+    pub dist: KeyDistribution,
+    /// The DOP sweep.
+    pub points: Vec<Fig5Point>,
+}
+
+/// Runs the full Fig. 5 grid.
+pub fn run() -> Vec<Fig5Series> {
+    let program = groupagg::program();
+    let engines = [
+        ("spark (sparrow)", Personality::sparrow()),
+        ("flink (flamingo)", Personality::flamingo()),
+    ];
+    let mut series = Vec::new();
+    for dist in KeyDistribution::all() {
+        for (ename, personality) in &engines {
+            for fused in [true, false] {
+                let flags = OptimizerFlags::all().with_fold_group_fusion(fused);
+                let mut points = Vec::new();
+                for dop in DOPS {
+                    let nodes = dop / 8;
+                    let catalog = groupagg::catalog(ROWS_PER_DOP_UNIT * dop, NUM_KEYS, dist, 42);
+                    let engine = Engine::new(
+                        ClusterSpec::paper_scaled()
+                            .with_nodes(nodes)
+                            .with_mem_per_worker(MEM_PER_WORKER),
+                        personality.clone(),
+                    )
+                    .with_timeout(FIG5_TIMEOUT_SECS);
+                    let compiled = parallelize(&program, &flags);
+                    let outcome = match engine.run(&compiled, &catalog) {
+                        Ok(run) => Outcome::Finished(run.stats.simulated_secs),
+                        Err(ExecError::Timeout { .. }) => Outcome::TimedOut,
+                        Err(e) => panic!("unexpected engine error: {e}"),
+                    };
+                    points.push(Fig5Point { dop, outcome });
+                }
+                series.push(Fig5Series {
+                    engine: ename,
+                    fused,
+                    dist,
+                    points,
+                });
+            }
+        }
+    }
+    series
+}

@@ -1,0 +1,57 @@
+//! Table 1: programs and the optimizations that apply to them.
+//!
+//! Regenerated from the optimizer's own report: each program is compiled
+//! with all optimizations enabled and the rewrites that fired are marked.
+
+use emma::algorithms::{kmeans, pagerank, spam, tpch};
+use emma::prelude::*;
+use emma_datagen::points::{self, PointsSpec};
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Program name, as in the paper.
+    pub program: &'static str,
+    /// `[unnesting, group fusion, cache, partition pulling]`.
+    pub applied: [bool; 4],
+}
+
+/// Compiles every Table 1 program and reports the applied optimizations.
+pub fn run() -> Vec<Table1Row> {
+    let spec = PointsSpec::default();
+    let programs: Vec<(&'static str, Program)> = vec![
+        (
+            "Workflow",
+            spam::program(emma_datagen::emails::classifiers(3)),
+        ),
+        (
+            "k-means",
+            kmeans::program(
+                &kmeans::KmeansParams::default(),
+                points::initial_centroids(&spec),
+            ),
+        ),
+        (
+            "PageRank",
+            pagerank::program(&pagerank::PagerankParams::default()),
+        ),
+        ("TPC-H Q1", tpch::q1_program()),
+        ("TPC-H Q4", tpch::q4_program()),
+    ];
+    programs
+        .into_iter()
+        .map(|(name, p)| Table1Row {
+            program: name,
+            applied: parallelize(&p, &OptimizerFlags::all()).report.table1_row(),
+        })
+        .collect()
+}
+
+/// The paper's Table 1 for comparison (same row/column order).
+pub const PAPER: [(&str, [bool; 4]); 5] = [
+    ("Workflow", [true, false, true, true]),
+    ("k-means", [false, true, true, false]),
+    ("PageRank", [false, true, true, false]),
+    ("TPC-H Q1", [false, true, false, false]),
+    ("TPC-H Q4", [true, true, false, false]),
+];

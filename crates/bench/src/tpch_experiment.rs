@@ -1,0 +1,89 @@
+//! The TPC-H experiment (paper, Section 5.2).
+//!
+//! Q1 (fold-group fusion) and Q4 (fusion + exists-unnesting) are run with
+//! and without the logical optimizations. Paper: without them neither query
+//! finishes within one hour; with them, Q1 takes 466 s on Spark / 240 s on
+//! Flink and Q4 577 s / 569 s.
+
+use emma::algorithms::tpch;
+use emma::prelude::*;
+use emma_datagen::tpch::TpchSpec;
+
+use crate::Outcome;
+
+/// Per-worker memory at the uniform 1/1000 scale (2 GB → 2 MB).
+pub const MEM_PER_WORKER: u64 = 2 * 1024 * 1024;
+
+/// The paper's literal one-hour timeout (times are 1/1000-scale
+/// comparable: rows and bandwidths are both scaled 1/1000).
+pub const TIMEOUT_SECS: f64 = 3_600.0;
+
+fn measure(
+    engine: &Engine,
+    program: &Program,
+    catalog: &Catalog,
+    flags: &OptimizerFlags,
+) -> Outcome {
+    let compiled = parallelize(program, flags);
+    match engine.run(&compiled, catalog) {
+        Ok(run) => Outcome::Finished(run.stats.simulated_secs),
+        Err(ExecError::Timeout { .. }) => Outcome::TimedOut,
+        Err(e) => panic!("unexpected engine error: {e}"),
+    }
+}
+
+/// Per-query, per-engine measurements.
+#[derive(Clone, Debug)]
+pub struct TpchRow {
+    /// Query name.
+    pub query: &'static str,
+    /// Engine name.
+    pub engine: &'static str,
+    /// Without the logical optimizations (expected: timeout).
+    pub unoptimized: Outcome,
+    /// With the logical optimizations.
+    pub optimized: Outcome,
+}
+
+/// The workload scale ("SF" ≈ paper's 50/100, scaled by ~1/1000).
+pub fn workload() -> Catalog {
+    tpch::catalog(&TpchSpec {
+        scale: 150.0,
+        seed: 42,
+    })
+}
+
+/// Runs the full grid.
+pub fn run() -> Vec<TpchRow> {
+    let catalog = workload();
+    let queries = [("Q1", tpch::q1_program()), ("Q4", tpch::q4_program())];
+    let spec = ClusterSpec::paper_scaled().with_mem_per_worker(MEM_PER_WORKER);
+    let engines = [
+        (
+            "spark (sparrow)",
+            Engine::new(spec, Personality::sparrow()).with_timeout(TIMEOUT_SECS),
+        ),
+        (
+            "flink (flamingo)",
+            Engine::new(spec, Personality::flamingo()).with_timeout(TIMEOUT_SECS),
+        ),
+    ];
+    let unopt = OptimizerFlags::all()
+        .with_fold_group_fusion(false)
+        .with_unnest_exists(false);
+    let opt = OptimizerFlags::all();
+    let mut rows = Vec::new();
+    for (qname, program) in &queries {
+        for (ename, engine) in &engines {
+            let unoptimized = measure(engine, program, &catalog, &unopt);
+            let optimized = measure(engine, program, &catalog, &opt);
+            rows.push(TpchRow {
+                query: qname,
+                engine: ename,
+                unoptimized,
+                optimized,
+            });
+        }
+    }
+    rows
+}

@@ -1,0 +1,852 @@
+//! The analyzable scalar-expression language.
+//!
+//! In the paper, UDFs are ordinary Scala lambdas whose ASTs the macro can
+//! inspect. The Rust substitute is this small expression language: lambdas
+//! are [`Lambda`]s over [`ScalarExpr`] bodies, which the compiler can
+//! traverse, substitute into, and rewrite. Crucially, scalar expressions can
+//! *nest bag computations* — [`ScalarExpr::Fold`] embeds an aggregate over a
+//! [`BagExpr`](crate::bag_expr::BagExpr) (e.g. `blacklist.exists(...)` inside
+//! a filter predicate, or `ctrds.min_by(...)` inside a map UDF). This nesting
+//! is exactly what the unnesting and broadcast-insertion optimizations
+//! operate on.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::bag_expr::BagExpr;
+use crate::value::Value;
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition (ints, floats, vectors element-wise).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (vector / scalar supported).
+    Div,
+    /// Remainder.
+    Mod,
+    /// Equality (total, per `Value::eq`).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical conjunction (strict).
+    And,
+    /// Logical disjunction (strict).
+    Or,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Builtin functions available to UDFs.
+///
+/// These stand in for library calls the Scala embedding would see as opaque
+/// method calls; keeping them enumerated preserves analyzability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuiltinFn {
+    /// Square root of a float.
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// Euclidean distance between two vectors.
+    Dist,
+    /// Element-wise vector addition.
+    VecAdd,
+    /// Vector divided by a scalar.
+    VecDiv,
+    /// Vector scaled by a scalar.
+    VecScale,
+    /// Binary minimum.
+    MinOf,
+    /// Binary maximum.
+    MaxOf,
+    /// Substring containment test on strings.
+    StrContains,
+    /// String length.
+    StrLen,
+    /// Stable integer hash of any value (used by synthetic feature UDFs).
+    HashOf,
+}
+
+impl BuiltinFn {
+    /// The function's arity.
+    pub fn arity(&self) -> usize {
+        match self {
+            BuiltinFn::Sqrt | BuiltinFn::Abs | BuiltinFn::StrLen | BuiltinFn::HashOf => 1,
+            _ => 2,
+        }
+    }
+
+    /// Relative CPU weight of one call, in units of "one arithmetic op".
+    ///
+    /// Most builtins are cheap; a few stand in for heavy UDF work the paper's
+    /// workloads contain: `HashOf` models a trained feature extractor /
+    /// classifier scoring a ~100 KB email body, `Dist` a vector distance.
+    /// The engine's cost model multiplies per-record CPU by the static
+    /// weight of the operator's lambdas.
+    pub fn cpu_weight(&self) -> f64 {
+        match self {
+            // Stands in for a trained feature extractor / classifier scoring
+            // a ~100 KB email body: ~10 ms of real work per record.
+            BuiltinFn::HashOf => 300_000.0,
+            BuiltinFn::Dist => 40.0,
+            BuiltinFn::VecAdd | BuiltinFn::VecDiv | BuiltinFn::VecScale => 8.0,
+            BuiltinFn::StrContains => 16.0,
+            _ => 1.0,
+        }
+    }
+
+    /// The surface name (for pretty printing).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BuiltinFn::Sqrt => "sqrt",
+            BuiltinFn::Abs => "abs",
+            BuiltinFn::Dist => "dist",
+            BuiltinFn::VecAdd => "vec_add",
+            BuiltinFn::VecDiv => "vec_div",
+            BuiltinFn::VecScale => "vec_scale",
+            BuiltinFn::MinOf => "min_of",
+            BuiltinFn::MaxOf => "max_of",
+            BuiltinFn::StrContains => "str_contains",
+            BuiltinFn::StrLen => "str_len",
+            BuiltinFn::HashOf => "hash_of",
+        }
+    }
+}
+
+/// The distinguishing tag of a reified fold. `Exists` is special-cased by the
+/// unnesting rule; the rest matter only for pretty printing and reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FoldKind {
+    /// Numeric sum.
+    Sum,
+    /// Element count.
+    Count,
+    /// Minimum element.
+    Min,
+    /// Maximum element.
+    Max,
+    /// Existential quantifier over a predicate.
+    Exists,
+    /// Universal quantifier over a predicate.
+    Forall,
+    /// Emptiness test.
+    IsEmpty,
+    /// Element minimizing a key.
+    MinBy,
+    /// Element maximizing a key.
+    MaxBy,
+    /// A fused composite produced by banana split.
+    BananaSplit,
+    /// User-provided fold.
+    Custom,
+}
+
+/// A reified fold: `(zero, sng, uni)` in expression form, so the compiler can
+/// combine folds (banana split) and fuse them into groupings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FoldOp {
+    /// Recognizable shape of the fold.
+    pub kind: FoldKind,
+    /// Closed expression for the `emp` substitute.
+    pub zero: Box<ScalarExpr>,
+    /// Unary lambda for the `sng` substitute.
+    pub sng: Lambda,
+    /// Binary lambda for the `uni` substitute (associative + commutative).
+    pub uni: Lambda,
+}
+
+impl FoldOp {
+    /// `sum`: fold(0.0, id, +).
+    pub fn sum() -> FoldOp {
+        FoldOp {
+            kind: FoldKind::Sum,
+            zero: Box::new(ScalarExpr::Lit(Value::Float(0.0))),
+            sng: Lambda::new(["x"], ScalarExpr::var("x")),
+            uni: Lambda::new(["a", "b"], ScalarExpr::var("a").add(ScalarExpr::var("b"))),
+        }
+    }
+
+    /// Vector sum with a given zero vector.
+    pub fn vec_sum(dim: usize) -> FoldOp {
+        FoldOp {
+            kind: FoldKind::Sum,
+            zero: Box::new(ScalarExpr::Lit(Value::vector(vec![0.0; dim]))),
+            sng: Lambda::new(["x"], ScalarExpr::var("x")),
+            uni: Lambda::new(
+                ["a", "b"],
+                ScalarExpr::call(
+                    BuiltinFn::VecAdd,
+                    vec![ScalarExpr::var("a"), ScalarExpr::var("b")],
+                ),
+            ),
+        }
+    }
+
+    /// `count`: fold(0, _ ⟼ 1, +).
+    pub fn count() -> FoldOp {
+        FoldOp {
+            kind: FoldKind::Count,
+            zero: Box::new(ScalarExpr::Lit(Value::Int(0))),
+            sng: Lambda::new(["x"], ScalarExpr::Lit(Value::Int(1))),
+            uni: Lambda::new(["a", "b"], ScalarExpr::var("a").add(ScalarExpr::var("b"))),
+        }
+    }
+
+    /// `min`: fold(null, id, min-combining with null as unit).
+    pub fn min() -> FoldOp {
+        FoldOp {
+            kind: FoldKind::Min,
+            zero: Box::new(ScalarExpr::Lit(Value::Null)),
+            sng: Lambda::new(["x"], ScalarExpr::var("x")),
+            uni: Lambda::new(
+                ["a", "b"],
+                ScalarExpr::call(
+                    BuiltinFn::MinOf,
+                    vec![ScalarExpr::var("a"), ScalarExpr::var("b")],
+                ),
+            ),
+        }
+    }
+
+    /// `max`: fold(null, id, max-combining with null as unit).
+    pub fn max() -> FoldOp {
+        FoldOp {
+            kind: FoldKind::Max,
+            zero: Box::new(ScalarExpr::Lit(Value::Null)),
+            sng: Lambda::new(["x"], ScalarExpr::var("x")),
+            uni: Lambda::new(
+                ["a", "b"],
+                ScalarExpr::call(
+                    BuiltinFn::MaxOf,
+                    vec![ScalarExpr::var("a"), ScalarExpr::var("b")],
+                ),
+            ),
+        }
+    }
+
+    /// `exists p`: fold(false, p, ∨). The predicate is the `sng` lambda.
+    pub fn exists(p: Lambda) -> FoldOp {
+        FoldOp {
+            kind: FoldKind::Exists,
+            zero: Box::new(ScalarExpr::Lit(Value::Bool(false))),
+            sng: p,
+            uni: Lambda::new(["a", "b"], ScalarExpr::var("a").or(ScalarExpr::var("b"))),
+        }
+    }
+
+    /// `forall p`: fold(true, p, ∧).
+    pub fn forall(p: Lambda) -> FoldOp {
+        FoldOp {
+            kind: FoldKind::Forall,
+            zero: Box::new(ScalarExpr::Lit(Value::Bool(true))),
+            sng: p,
+            uni: Lambda::new(["a", "b"], ScalarExpr::var("a").and(ScalarExpr::var("b"))),
+        }
+    }
+
+    /// `is_empty`: fold(true, _ ⟼ false, ∧).
+    pub fn is_empty() -> FoldOp {
+        FoldOp {
+            kind: FoldKind::IsEmpty,
+            zero: Box::new(ScalarExpr::Lit(Value::Bool(true))),
+            sng: Lambda::new(["x"], ScalarExpr::Lit(Value::Bool(false))),
+            uni: Lambda::new(["a", "b"], ScalarExpr::var("a").and(ScalarExpr::var("b"))),
+        }
+    }
+
+    /// `min_by key`: keeps the element minimizing `key` (null = absent).
+    pub fn min_by(key: Lambda) -> FoldOp {
+        Self::extreme_by(key, FoldKind::MinBy)
+    }
+
+    /// `max_by key`: keeps the element maximizing `key`.
+    pub fn max_by(key: Lambda) -> FoldOp {
+        Self::extreme_by(key, FoldKind::MaxBy)
+    }
+
+    fn extreme_by(key: Lambda, kind: FoldKind) -> FoldOp {
+        assert_eq!(key.params.len(), 1, "min_by/max_by key must be unary");
+        let ka = key.apply(&[ScalarExpr::var("a")]);
+        let kb = key.apply(&[ScalarExpr::var("b")]);
+        let keep_a = if kind == FoldKind::MinBy {
+            ka.le(kb)
+        } else {
+            ka.ge(kb)
+        };
+        FoldOp {
+            kind,
+            zero: Box::new(ScalarExpr::Lit(Value::Null)),
+            sng: Lambda::new(["x"], ScalarExpr::var("x")),
+            uni: Lambda::new(
+                ["a", "b"],
+                // null acts as the unit of the combining function.
+                ScalarExpr::If(
+                    Box::new(ScalarExpr::var("a").eq_null()),
+                    Box::new(ScalarExpr::var("b")),
+                    Box::new(ScalarExpr::If(
+                        Box::new(ScalarExpr::var("b").eq_null()),
+                        Box::new(ScalarExpr::var("a")),
+                        Box::new(ScalarExpr::If(
+                            Box::new(keep_a),
+                            Box::new(ScalarExpr::var("a")),
+                            Box::new(ScalarExpr::var("b")),
+                        )),
+                    )),
+                ),
+            ),
+        }
+    }
+
+    /// A custom fold from explicit components.
+    pub fn custom(zero: ScalarExpr, sng: Lambda, uni: Lambda) -> FoldOp {
+        FoldOp {
+            kind: FoldKind::Custom,
+            zero: Box::new(zero),
+            sng,
+            uni,
+        }
+    }
+
+    /// **Banana split** over the expression language: combines `folds` into a
+    /// single fold over tuples, one slot per input fold
+    /// (paper, Section 4.2.2).
+    pub fn banana_split(folds: &[FoldOp]) -> FoldOp {
+        assert!(!folds.is_empty(), "banana split needs at least one fold");
+        let zero = ScalarExpr::Tuple(folds.iter().map(|f| (*f.zero).clone()).collect());
+        let sng = Lambda::new(
+            ["x"],
+            ScalarExpr::Tuple(
+                folds
+                    .iter()
+                    .map(|f| f.sng.apply(&[ScalarExpr::var("x")]))
+                    .collect(),
+            ),
+        );
+        let uni = Lambda::new(
+            ["a", "b"],
+            ScalarExpr::Tuple(
+                folds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        f.uni
+                            .apply(&[ScalarExpr::var("a").get(i), ScalarExpr::var("b").get(i)])
+                    })
+                    .collect(),
+            ),
+        );
+        FoldOp {
+            kind: FoldKind::BananaSplit,
+            zero: Box::new(zero),
+            sng,
+            uni,
+        }
+    }
+}
+
+/// A lambda: named parameters over a scalar body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Lambda {
+    /// Parameter names bound in `body`.
+    pub params: Vec<String>,
+    /// The body expression.
+    pub body: ScalarExpr,
+}
+
+impl Lambda {
+    /// Creates a lambda.
+    pub fn new<const N: usize>(params: [&str; N], body: ScalarExpr) -> Lambda {
+        Lambda {
+            params: params.iter().map(|s| s.to_string()).collect(),
+            body,
+        }
+    }
+
+    /// Beta-reduction: substitutes `args` for the parameters in the body.
+    ///
+    /// Assumes globally fresh binder names (see [`crate::freshen`]), so no
+    /// capture checks are needed at the call sites inside the compiler.
+    pub fn apply(&self, args: &[ScalarExpr]) -> ScalarExpr {
+        assert_eq!(
+            args.len(),
+            self.params.len(),
+            "lambda arity mismatch: expected {}, got {}",
+            self.params.len(),
+            args.len()
+        );
+        let mut body = self.body.clone();
+        for (p, a) in self.params.iter().zip(args) {
+            body = body.substitute(p, a);
+        }
+        body
+    }
+
+    /// Free variables of the lambda (body free vars minus parameters).
+    pub fn free_vars(&self) -> HashSet<String> {
+        let mut fv = self.body.free_vars();
+        for p in &self.params {
+            fv.remove(p);
+        }
+        fv
+    }
+
+    /// Static CPU cost of one application of this lambda (see
+    /// [`ScalarExpr::static_cost`]).
+    pub fn static_cost(&self) -> f64 {
+        self.body.static_cost()
+    }
+
+    /// Alpha-equivalence: structural equality modulo parameter names.
+    ///
+    /// Used to compare partitioning keys (e.g. "is this input already hash
+    /// partitioned by the join key?") without being confused by freshened
+    /// binder names.
+    pub fn alpha_eq(&self, other: &Lambda) -> bool {
+        if self.params.len() != other.params.len() {
+            return false;
+        }
+        let canon = |lam: &Lambda| {
+            let mut body = lam.body.clone();
+            for (i, p) in lam.params.iter().enumerate() {
+                body = body.substitute(p, &ScalarExpr::var(format!("§{i}")));
+            }
+            body
+        };
+        canon(self) == canon(other)
+    }
+}
+
+/// A scalar expression — the body language of UDFs and comprehension heads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScalarExpr {
+    /// A literal value.
+    Lit(Value),
+    /// A variable reference (lambda parameter, comprehension generator
+    /// variable, or driver-program variable).
+    Var(String),
+    /// Positional field access `e.i`.
+    Field(Box<ScalarExpr>, usize),
+    /// Binary operation.
+    BinOp(BinOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Unary operation.
+    UnOp(UnOp, Box<ScalarExpr>),
+    /// Builtin function application.
+    Call(BuiltinFn, Vec<ScalarExpr>),
+    /// Tuple construction.
+    Tuple(Vec<ScalarExpr>),
+    /// Conditional.
+    If(Box<ScalarExpr>, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// A fold over a bag expression — the bridge from bag computations back
+    /// to scalars (`xs.sum()`, `bl.exists(p)`, `ctrds.min_by(k)` …).
+    Fold(Box<BagExpr>, Box<FoldOp>),
+    /// A bag expression as a first-class value (group values in heads,
+    /// flatMap bodies, driver-side sequences).
+    BagOf(Box<BagExpr>),
+}
+
+impl ScalarExpr {
+    /// Variable reference.
+    pub fn var(name: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Var(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Lit(v.into())
+    }
+
+    /// Builtin call.
+    pub fn call(f: BuiltinFn, args: Vec<ScalarExpr>) -> ScalarExpr {
+        assert_eq!(
+            args.len(),
+            f.arity(),
+            "{} expects {} args",
+            f.name(),
+            f.arity()
+        );
+        ScalarExpr::Call(f, args)
+    }
+
+    /// Positional field access.
+    pub fn get(self, i: usize) -> ScalarExpr {
+        ScalarExpr::Field(Box::new(self), i)
+    }
+
+    fn bin(op: BinOp, l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::BinOp(op, Box::new(l), Box::new(r))
+    }
+
+    /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::Add, self, rhs)
+    }
+
+    /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::Sub, self, rhs)
+    }
+
+    /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::Mul, self, rhs)
+    }
+
+    /// `self / rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::Div, self, rhs)
+    }
+
+    /// `self % rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn rem(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::Mod, self, rhs)
+    }
+
+    /// `self == rhs`.
+    pub fn eq(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::Eq, self, rhs)
+    }
+
+    /// `self != rhs`.
+    pub fn ne(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::Ne, self, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::Lt, self, rhs)
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::Le, self, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::Gt, self, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::Ge, self, rhs)
+    }
+
+    /// `self && rhs`.
+    pub fn and(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::And, self, rhs)
+    }
+
+    /// `self || rhs`.
+    pub fn or(self, rhs: ScalarExpr) -> ScalarExpr {
+        Self::bin(BinOp::Or, self, rhs)
+    }
+
+    /// `!self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> ScalarExpr {
+        ScalarExpr::UnOp(UnOp::Not, Box::new(self))
+    }
+
+    /// `self == null`.
+    pub fn eq_null(self) -> ScalarExpr {
+        self.eq(ScalarExpr::Lit(Value::Null))
+    }
+
+    /// Static per-evaluation CPU cost estimate: the number of expression
+    /// nodes, with builtins weighted by [`BuiltinFn::cpu_weight`]. Nested
+    /// folds count their component lambdas once (the engine separately
+    /// accounts for broadcast-bag sizes they iterate over).
+    pub fn static_cost(&self) -> f64 {
+        match self {
+            ScalarExpr::Lit(_) | ScalarExpr::Var(_) => 1.0,
+            ScalarExpr::Field(inner, _) => 1.0 + inner.static_cost(),
+            ScalarExpr::UnOp(_, inner) => 1.0 + inner.static_cost(),
+            ScalarExpr::BinOp(_, l, r) => 1.0 + l.static_cost() + r.static_cost(),
+            ScalarExpr::Call(f, args) => {
+                f.cpu_weight() + args.iter().map(ScalarExpr::static_cost).sum::<f64>()
+            }
+            ScalarExpr::Tuple(args) => 1.0 + args.iter().map(ScalarExpr::static_cost).sum::<f64>(),
+            ScalarExpr::If(c, t, e) => 1.0 + c.static_cost() + t.static_cost().max(e.static_cost()),
+            ScalarExpr::Fold(_, fold) => {
+                4.0 + fold.zero.static_cost() + fold.sng.static_cost() + fold.uni.static_cost()
+            }
+            ScalarExpr::BagOf(_) => 4.0,
+        }
+    }
+
+    /// Free variables of this expression, including those of nested bag
+    /// expressions. Driver variables referenced inside dataflow UDFs show up
+    /// here — the seed of broadcast insertion (paper Fig. 3b).
+    pub fn free_vars(&self) -> HashSet<String> {
+        let mut out = HashSet::new();
+        self.collect_free_vars(&mut HashSet::new(), &mut out);
+        out
+    }
+
+    pub(crate) fn collect_free_vars(&self, bound: &mut HashSet<String>, out: &mut HashSet<String>) {
+        match self {
+            ScalarExpr::Lit(_) => {}
+            ScalarExpr::Var(name) => {
+                if !bound.contains(name) {
+                    out.insert(name.clone());
+                }
+            }
+            ScalarExpr::Field(e, _) => e.collect_free_vars(bound, out),
+            ScalarExpr::BinOp(_, l, r) => {
+                l.collect_free_vars(bound, out);
+                r.collect_free_vars(bound, out);
+            }
+            ScalarExpr::UnOp(_, e) => e.collect_free_vars(bound, out),
+            ScalarExpr::Call(_, args) | ScalarExpr::Tuple(args) => {
+                for a in args {
+                    a.collect_free_vars(bound, out);
+                }
+            }
+            ScalarExpr::If(c, t, e) => {
+                c.collect_free_vars(bound, out);
+                t.collect_free_vars(bound, out);
+                e.collect_free_vars(bound, out);
+            }
+            ScalarExpr::Fold(bag, fold) => {
+                bag.collect_free_vars(bound, out);
+                fold.zero.collect_free_vars(bound, out);
+                for lam in [&fold.sng, &fold.uni] {
+                    let added: Vec<String> = lam
+                        .params
+                        .iter()
+                        .filter(|p| bound.insert((*p).clone()))
+                        .cloned()
+                        .collect();
+                    lam.body.collect_free_vars(bound, out);
+                    for p in added {
+                        bound.remove(&p);
+                    }
+                }
+            }
+            ScalarExpr::BagOf(bag) => bag.collect_free_vars(bound, out),
+        }
+    }
+
+    /// Substitutes `replacement` for free occurrences of `name`.
+    ///
+    /// Binders are assumed globally fresh (see [`crate::freshen`]); the
+    /// substitution still respects shadowing binders for robustness.
+    pub fn substitute(&self, name: &str, replacement: &ScalarExpr) -> ScalarExpr {
+        match self {
+            ScalarExpr::Lit(v) => ScalarExpr::Lit(v.clone()),
+            ScalarExpr::Var(n) => {
+                if n == name {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            ScalarExpr::Field(e, i) => {
+                ScalarExpr::Field(Box::new(e.substitute(name, replacement)), *i)
+            }
+            ScalarExpr::BinOp(op, l, r) => ScalarExpr::BinOp(
+                *op,
+                Box::new(l.substitute(name, replacement)),
+                Box::new(r.substitute(name, replacement)),
+            ),
+            ScalarExpr::UnOp(op, e) => {
+                ScalarExpr::UnOp(*op, Box::new(e.substitute(name, replacement)))
+            }
+            ScalarExpr::Call(f, args) => ScalarExpr::Call(
+                *f,
+                args.iter()
+                    .map(|a| a.substitute(name, replacement))
+                    .collect(),
+            ),
+            ScalarExpr::Tuple(args) => ScalarExpr::Tuple(
+                args.iter()
+                    .map(|a| a.substitute(name, replacement))
+                    .collect(),
+            ),
+            ScalarExpr::If(c, t, e) => ScalarExpr::If(
+                Box::new(c.substitute(name, replacement)),
+                Box::new(t.substitute(name, replacement)),
+                Box::new(e.substitute(name, replacement)),
+            ),
+            ScalarExpr::Fold(bag, fold) => ScalarExpr::Fold(
+                Box::new(bag.substitute(name, replacement)),
+                Box::new(FoldOp {
+                    kind: fold.kind.clone(),
+                    zero: Box::new(fold.zero.substitute(name, replacement)),
+                    sng: substitute_in_lambda(&fold.sng, name, replacement),
+                    uni: substitute_in_lambda(&fold.uni, name, replacement),
+                }),
+            ),
+            ScalarExpr::BagOf(bag) => {
+                ScalarExpr::BagOf(Box::new(bag.substitute(name, replacement)))
+            }
+        }
+    }
+}
+
+/// Substitution under a lambda binder, respecting shadowing.
+pub(crate) fn substitute_in_lambda(lam: &Lambda, name: &str, replacement: &ScalarExpr) -> Lambda {
+    if lam.params.iter().any(|p| p == name) {
+        lam.clone()
+    } else {
+        Lambda {
+            params: lam.params.clone(),
+            body: lam.body.substitute(name, replacement),
+        }
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Lit(v) => write!(f, "{v}"),
+            ScalarExpr::Var(n) => write!(f, "{n}"),
+            ScalarExpr::Field(e, i) => write!(f, "{e}.{i}"),
+            ScalarExpr::BinOp(op, l, r) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Mod => "%",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::And => "&&",
+                    BinOp::Or => "||",
+                };
+                write!(f, "({l} {sym} {r})")
+            }
+            ScalarExpr::UnOp(UnOp::Not, e) => write!(f, "!({e})"),
+            ScalarExpr::UnOp(UnOp::Neg, e) => write!(f, "-({e})"),
+            ScalarExpr::Call(func, args) => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            ScalarExpr::Tuple(args) => {
+                write!(f, "(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            ScalarExpr::If(c, t, e) => write!(f, "if ({c}) {t} else {e}"),
+            ScalarExpr::Fold(bag, fold) => write!(f, "fold[{:?}]({bag})", fold.kind),
+            ScalarExpr::BagOf(bag) => write!(f, "bag({bag})"),
+        }
+    }
+}
+
+impl fmt::Display for Lambda {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "λ{}. {}", self.params.join(","), self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_apply_substitutes_params() {
+        let lam = Lambda::new(["x"], ScalarExpr::var("x").add(ScalarExpr::lit(1i64)));
+        let applied = lam.apply(&[ScalarExpr::lit(41i64)]);
+        assert_eq!(applied, ScalarExpr::lit(41i64).add(ScalarExpr::lit(1i64)));
+    }
+
+    #[test]
+    fn free_vars_exclude_bound_params() {
+        let lam = Lambda::new(["x"], ScalarExpr::var("x").add(ScalarExpr::var("y")));
+        let fv = lam.free_vars();
+        assert!(fv.contains("y"));
+        assert!(!fv.contains("x"));
+    }
+
+    #[test]
+    fn substitution_respects_shadowing_in_folds() {
+        // fold sng = λx. x + y ; substituting for x must not touch the bound x.
+        let fold = FoldOp::custom(
+            ScalarExpr::lit(0i64),
+            Lambda::new(["x"], ScalarExpr::var("x").add(ScalarExpr::var("y"))),
+            Lambda::new(["a", "b"], ScalarExpr::var("a").add(ScalarExpr::var("b"))),
+        );
+        let e = ScalarExpr::Fold(
+            Box::new(crate::bag_expr::BagExpr::Read {
+                source: "xs".into(),
+            }),
+            Box::new(fold),
+        );
+        let subst = e.substitute("x", &ScalarExpr::lit(9i64));
+        // The λx binder shadows: body unchanged.
+        assert_eq!(subst, e);
+        let subst_y = e.substitute("y", &ScalarExpr::lit(9i64));
+        assert_ne!(subst_y, e);
+    }
+
+    #[test]
+    fn banana_split_tuples_components() {
+        let split = FoldOp::banana_split(&[FoldOp::sum(), FoldOp::count()]);
+        assert_eq!(split.kind, FoldKind::BananaSplit);
+        match &*split.zero {
+            ScalarExpr::Tuple(zs) => assert_eq!(zs.len(), 2),
+            other => panic!("expected tuple zero, got {other:?}"),
+        }
+        match &split.sng.body {
+            ScalarExpr::Tuple(ss) => assert_eq!(ss.len(), 2),
+            other => panic!("expected tuple sng, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fold_free_vars_see_through_fold_lambdas() {
+        // exists(λl. l.0 == e.0) over Ref("bl") — free vars are {bl is in bag, e}.
+        let pred = Lambda::new(
+            ["l"],
+            ScalarExpr::var("l").get(0).eq(ScalarExpr::var("e").get(0)),
+        );
+        let e = ScalarExpr::Fold(
+            Box::new(crate::bag_expr::BagExpr::Ref { name: "bl".into() }),
+            Box::new(FoldOp::exists(pred)),
+        );
+        let fv = e.free_vars();
+        assert!(fv.contains("e"));
+        assert!(fv.contains("bl"));
+        assert!(!fv.contains("l"));
+    }
+}

@@ -1,0 +1,644 @@
+//! The `parallelize` pipeline (paper, Figure 1).
+//!
+//! [`parallelize`] is the Rust counterpart of the paper's `parallelize`
+//! macro: it takes a quoted driver [`Program`], (i) recovers comprehension
+//! views over all maximal `DataBag` expressions, (ii) rewrites them logically
+//! (normalization, exists-unnesting, fold-group fusion), and (iii) lowers
+//! them to abstract dataflow [`Plan`]s embedded back into the driver
+//! control-flow skeleton, applying the physical optimizations (caching,
+//! partition pulling) across control-flow barriers.
+//!
+//! Every optimization can be toggled individually through
+//! [`OptimizerFlags`] — the paper's experiments (Figure 4, Figure 5,
+//! Section 5.2) are ablations over exactly these flags — and the rewrites
+//! that fired are recorded in an [`OptimizationReport`], which reproduces the
+//! paper's Table 1.
+
+use std::fmt;
+
+use crate::bag_expr::{substitute_ref_in_scalar, BagExpr};
+use crate::expr::ScalarExpr;
+use crate::freshen::{freshen_program, NameGen};
+use crate::lower::{lower_bag, lower_fold};
+use crate::physical;
+use crate::plan::Plan;
+use crate::program::{Program, RValue, Stmt};
+
+/// Individual toggles for every optimization in the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptimizerFlags {
+    /// Inline single-use bag `val` definitions (Section 4.1, "Inlining").
+    pub inlining: bool,
+    /// Comprehension normalization: head unnesting and generator fusion.
+    pub normalization: bool,
+    /// Exists-unnesting of nested existential predicates (Section 4.2.1).
+    pub unnest_exists: bool,
+    /// Fold-group fusion (Section 4.2.2).
+    pub fold_group_fusion: bool,
+    /// Cache bags referenced more than once / across loop iterations
+    /// (Section 4.4, "Caching").
+    pub caching: bool,
+    /// Pull enforced partitionings behind control-flow barriers
+    /// (Section 4.4, "Partition Pulling").
+    pub partition_pulling: bool,
+}
+
+impl OptimizerFlags {
+    /// Everything on — the default production configuration.
+    pub fn all() -> Self {
+        OptimizerFlags {
+            inlining: true,
+            normalization: true,
+            unnest_exists: true,
+            fold_group_fusion: true,
+            caching: true,
+            partition_pulling: true,
+        }
+    }
+
+    /// Everything off — the naive baseline used by the paper's figures.
+    /// (Comprehension recovery still runs; nothing is rewritten.)
+    pub fn none() -> Self {
+        OptimizerFlags {
+            inlining: false,
+            normalization: false,
+            unnest_exists: false,
+            fold_group_fusion: false,
+            caching: false,
+            partition_pulling: false,
+        }
+    }
+
+    /// Logical optimizations only (no caching / partition pulling).
+    pub fn logical_only() -> Self {
+        OptimizerFlags {
+            caching: false,
+            partition_pulling: false,
+            ..Self::all()
+        }
+    }
+
+    /// Builder-style toggle.
+    pub fn with_caching(mut self, on: bool) -> Self {
+        self.caching = on;
+        self
+    }
+
+    /// Builder-style toggle.
+    pub fn with_partition_pulling(mut self, on: bool) -> Self {
+        self.partition_pulling = on;
+        self
+    }
+
+    /// Builder-style toggle.
+    pub fn with_unnest_exists(mut self, on: bool) -> Self {
+        self.unnest_exists = on;
+        self
+    }
+
+    /// Builder-style toggle.
+    pub fn with_fold_group_fusion(mut self, on: bool) -> Self {
+        self.fold_group_fusion = on;
+        self
+    }
+
+    /// Builder-style toggle.
+    pub fn with_inlining(mut self, on: bool) -> Self {
+        self.inlining = on;
+        self
+    }
+
+    /// Builder-style toggle.
+    pub fn with_normalization(mut self, on: bool) -> Self {
+        self.normalization = on;
+        self
+    }
+}
+
+impl Default for OptimizerFlags {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Record of which rewrites fired during compilation — the per-program
+/// optimization applicability that the paper summarizes in Table 1.
+#[derive(Clone, Debug, Default)]
+pub struct OptimizationReport {
+    /// Generator/head unnesting (fusion) rule applications.
+    pub comprehension_fusions: usize,
+    /// Nested existential guards rewritten into semi-/anti-join generators.
+    pub exists_unnested: usize,
+    /// groupBy → aggBy rewrites performed.
+    pub fold_group_fused: usize,
+    /// Bag `val`s inlined into their single use.
+    pub inlined: Vec<String>,
+    /// Bags wrapped in a `Cache` node.
+    pub cached: Vec<String>,
+    /// Bags that received an enforced partitioning (`name` per pull).
+    pub partitions_pulled: Vec<String>,
+}
+
+impl OptimizationReport {
+    /// The Table 1 row for this program: which optimization categories
+    /// applied (`Unnesting`, `Group Fusion`, `Cache`, `Partition Pulling`).
+    pub fn table1_row(&self) -> [bool; 4] {
+        [
+            self.exists_unnested > 0,
+            self.fold_group_fused > 0,
+            !self.cached.is_empty(),
+            !self.partitions_pulled.is_empty(),
+        ]
+    }
+}
+
+impl fmt::Display for OptimizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [u, g, c, p] = self.table1_row();
+        let mark = |b: bool| if b { "X" } else { "-" };
+        writeln!(
+            f,
+            "unnesting: {} ({})  group-fusion: {} ({})  cache: {} ({:?})  partition: {} ({:?})",
+            mark(u),
+            self.exists_unnested,
+            mark(g),
+            self.fold_group_fused,
+            mark(c),
+            self.cached,
+            mark(p),
+            self.partitions_pulled,
+        )
+    }
+}
+
+/// An auxiliary dataflow definition extracted from a driver scalar
+/// expression: `name` is bound to the (scalar or collected-bag) result of
+/// `plan` before the surrounding expression evaluates. These are the
+/// paper's *thunks* — the handles connecting dataflows back into driver code
+/// (Fig. 3b, "Driver to Dataflows").
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuxDef {
+    /// Fresh driver name the result is bound to.
+    pub name: String,
+    /// The dataflow producing it (a `Fold` plan for scalars; any plan for
+    /// collected bags).
+    pub plan: Plan,
+}
+
+/// The compiled right-hand side of a binding.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CRValue {
+    /// A bag-valued dataflow.
+    Bag(Plan),
+    /// A scalar driver expression with its extracted dataflow thunks.
+    Scalar {
+        /// Dataflows to force before evaluating `expr`.
+        pre: Vec<AuxDef>,
+        /// The residual driver expression.
+        expr: ScalarExpr,
+    },
+}
+
+/// Binding flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BindKind {
+    /// `val` — immutable.
+    Val,
+    /// `var` — mutable definition.
+    Var,
+    /// Assignment to an existing `var`.
+    Assign,
+}
+
+/// A compiled driver statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CStmt {
+    /// Binding / assignment.
+    Bind {
+        /// Name bound.
+        name: String,
+        /// Val / var / assign.
+        kind: BindKind,
+        /// The compiled right-hand side.
+        value: CRValue,
+    },
+    /// `while` loop; `pre` thunks re-evaluate before each condition check.
+    While {
+        /// Dataflows feeding the condition.
+        pre: Vec<AuxDef>,
+        /// Loop condition.
+        cond: ScalarExpr,
+        /// Loop body.
+        body: Vec<CStmt>,
+    },
+    /// Driver-side iteration.
+    ForEach {
+        /// Loop variable.
+        var: String,
+        /// Dataflows feeding the sequence expression.
+        pre: Vec<AuxDef>,
+        /// The sequence expression.
+        seq: ScalarExpr,
+        /// Loop body.
+        body: Vec<CStmt>,
+    },
+    /// Conditional; `pre` thunks evaluate before the condition.
+    If {
+        /// Dataflows feeding the condition.
+        pre: Vec<AuxDef>,
+        /// Branch condition.
+        cond: ScalarExpr,
+        /// Then-branch.
+        then_branch: Vec<CStmt>,
+        /// Else-branch.
+        else_branch: Vec<CStmt>,
+    },
+    /// Sink write.
+    Write {
+        /// Sink name.
+        sink: String,
+        /// The dataflow to materialize.
+        plan: Plan,
+    },
+    /// Stateful-bag creation: the state is hash-partitioned by its key and
+    /// held in place (the paper's point-wise-updatable keyed state).
+    StatefulCreate {
+        /// Stateful binding name.
+        name: String,
+        /// Dataflow producing the initial contents.
+        plan: Plan,
+        /// Element key extractor.
+        key: crate::expr::Lambda,
+    },
+    /// Point-wise stateful update; the changed delta binds as a bag.
+    StatefulUpdate {
+        /// Stateful binding to update.
+        state: String,
+        /// Name of the delta binding.
+        delta: String,
+        /// Dataflow producing the update messages.
+        messages: Plan,
+        /// Message key extractor (routing).
+        message_key: crate::expr::Lambda,
+        /// `(element, message) ⟼ new element | null`.
+        update: crate::expr::Lambda,
+    },
+}
+
+/// A compiled program: driver control flow with embedded dataflow plans.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// Compiled statements.
+    pub body: Vec<CStmt>,
+    /// Which optimizations fired.
+    pub report: OptimizationReport,
+}
+
+/// Compiles a program — the `parallelize { … }` entry point.
+pub fn parallelize(p: &Program, flags: &OptimizerFlags) -> CompiledProgram {
+    let mut gen = NameGen::new();
+    let mut prog = freshen_program(p, &mut gen);
+    let mut report = OptimizationReport::default();
+
+    if flags.inlining {
+        inline_single_use(&mut prog.body, &mut report);
+    }
+
+    let mut body = compile_stmts(&prog.body, flags, &mut gen, &mut report);
+
+    if flags.caching {
+        physical::apply_caching(&mut body, &mut report);
+    }
+    if flags.partition_pulling {
+        physical::apply_partition_pulling(&mut body, &mut report);
+    }
+
+    CompiledProgram { body, report }
+}
+
+// ------------------------------------------------------------- compilation
+
+fn compile_stmts(
+    stmts: &[Stmt],
+    flags: &OptimizerFlags,
+    gen: &mut NameGen,
+    report: &mut OptimizationReport,
+) -> Vec<CStmt> {
+    stmts
+        .iter()
+        .map(|s| compile_stmt(s, flags, gen, report))
+        .collect()
+}
+
+fn compile_stmt(
+    s: &Stmt,
+    flags: &OptimizerFlags,
+    gen: &mut NameGen,
+    report: &mut OptimizationReport,
+) -> CStmt {
+    match s {
+        Stmt::ValDef { name, value } => CStmt::Bind {
+            name: name.clone(),
+            kind: BindKind::Val,
+            value: compile_rvalue(value, flags, gen, report),
+        },
+        Stmt::VarDef { name, value } => CStmt::Bind {
+            name: name.clone(),
+            kind: BindKind::Var,
+            value: compile_rvalue(value, flags, gen, report),
+        },
+        Stmt::Assign { name, value } => CStmt::Bind {
+            name: name.clone(),
+            kind: BindKind::Assign,
+            value: compile_rvalue(value, flags, gen, report),
+        },
+        Stmt::While { cond, body } => {
+            let (pre, cond) = extract_dataflows(cond, flags, gen, report);
+            CStmt::While {
+                pre,
+                cond,
+                body: compile_stmts(body, flags, gen, report),
+            }
+        }
+        Stmt::ForEach { var, seq, body } => {
+            let (pre, seq) = extract_dataflows(seq, flags, gen, report);
+            CStmt::ForEach {
+                var: var.clone(),
+                pre,
+                seq,
+                body: compile_stmts(body, flags, gen, report),
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let (pre, cond) = extract_dataflows(cond, flags, gen, report);
+            CStmt::If {
+                pre,
+                cond,
+                then_branch: compile_stmts(then_branch, flags, gen, report),
+                else_branch: compile_stmts(else_branch, flags, gen, report),
+            }
+        }
+        Stmt::Write { sink, bag } => CStmt::Write {
+            sink: sink.clone(),
+            plan: lower_bag(bag, flags, gen, report),
+        },
+        Stmt::StatefulCreate { name, init, key } => CStmt::StatefulCreate {
+            name: name.clone(),
+            plan: lower_bag(init, flags, gen, report),
+            key: key.clone(),
+        },
+        Stmt::StatefulUpdate {
+            state,
+            delta,
+            messages,
+            message_key,
+            update,
+        } => CStmt::StatefulUpdate {
+            state: state.clone(),
+            delta: delta.clone(),
+            messages: lower_bag(messages, flags, gen, report),
+            message_key: message_key.clone(),
+            update: update.clone(),
+        },
+    }
+}
+
+fn compile_rvalue(
+    v: &RValue,
+    flags: &OptimizerFlags,
+    gen: &mut NameGen,
+    report: &mut OptimizationReport,
+) -> CRValue {
+    match v {
+        RValue::Bag(b) => CRValue::Bag(lower_bag(b, flags, gen, report)),
+        RValue::Scalar(e) => {
+            let (pre, expr) = extract_dataflows(e, flags, gen, report);
+            CRValue::Scalar { pre, expr }
+        }
+    }
+}
+
+/// Replaces each maximal dataflow term in a *driver-position* scalar
+/// expression (terminal folds and collected bags) with a fresh variable
+/// bound to the corresponding plan — the thunk-insertion step of Fig. 3b.
+fn extract_dataflows(
+    e: &ScalarExpr,
+    flags: &OptimizerFlags,
+    gen: &mut NameGen,
+    report: &mut OptimizationReport,
+) -> (Vec<AuxDef>, ScalarExpr) {
+    let mut pre = Vec::new();
+    let expr = extract_rec(e, flags, gen, report, &mut pre);
+    (pre, expr)
+}
+
+fn extract_rec(
+    e: &ScalarExpr,
+    flags: &OptimizerFlags,
+    gen: &mut NameGen,
+    report: &mut OptimizationReport,
+    pre: &mut Vec<AuxDef>,
+) -> ScalarExpr {
+    match e {
+        ScalarExpr::Fold(bag, op) => {
+            let name = gen.fresh("agg");
+            let plan = lower_fold(bag, op, flags, gen, report);
+            pre.push(AuxDef {
+                name: name.clone(),
+                plan,
+            });
+            ScalarExpr::var(name)
+        }
+        ScalarExpr::BagOf(bag) => {
+            let name = gen.fresh("bag");
+            let plan = lower_bag(bag, flags, gen, report);
+            pre.push(AuxDef {
+                name: name.clone(),
+                plan,
+            });
+            ScalarExpr::var(name)
+        }
+        ScalarExpr::Lit(_) | ScalarExpr::Var(_) => e.clone(),
+        ScalarExpr::Field(inner, i) => {
+            ScalarExpr::Field(Box::new(extract_rec(inner, flags, gen, report, pre)), *i)
+        }
+        ScalarExpr::UnOp(op, inner) => {
+            ScalarExpr::UnOp(*op, Box::new(extract_rec(inner, flags, gen, report, pre)))
+        }
+        ScalarExpr::BinOp(op, l, r) => ScalarExpr::BinOp(
+            *op,
+            Box::new(extract_rec(l, flags, gen, report, pre)),
+            Box::new(extract_rec(r, flags, gen, report, pre)),
+        ),
+        ScalarExpr::Call(f, args) => ScalarExpr::Call(
+            *f,
+            args.iter()
+                .map(|a| extract_rec(a, flags, gen, report, pre))
+                .collect(),
+        ),
+        ScalarExpr::Tuple(args) => ScalarExpr::Tuple(
+            args.iter()
+                .map(|a| extract_rec(a, flags, gen, report, pre))
+                .collect(),
+        ),
+        ScalarExpr::If(c, t, el) => ScalarExpr::If(
+            Box::new(extract_rec(c, flags, gen, report, pre)),
+            Box::new(extract_rec(t, flags, gen, report, pre)),
+            Box::new(extract_rec(el, flags, gen, report, pre)),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------- inlining
+
+/// Inlines bag `val` definitions referenced exactly once, outside loops,
+/// within the same statement list (Section 4.1, "Inlining"). Bigger
+/// comprehensions mean more fusion and unnesting opportunities downstream.
+fn inline_single_use(stmts: &mut Vec<Stmt>, report: &mut OptimizationReport) {
+    let mut i = 0;
+    while i < stmts.len() {
+        let candidate = match &stmts[i] {
+            Stmt::ValDef {
+                name,
+                value: RValue::Bag(e),
+            } => Some((name.clone(), e.clone())),
+            _ => None,
+        };
+        if let Some((name, def)) = candidate {
+            let mut outside = 0usize;
+            let mut inside = 0usize;
+            for s in &stmts[i + 1..] {
+                let (o, l) = count_refs_in_stmt(s, &name);
+                outside += o;
+                inside += l;
+            }
+            if outside == 1 && inside == 0 {
+                for s in stmts[i + 1..].iter_mut() {
+                    substitute_ref_in_stmt(s, &name, &def);
+                }
+                report.inlined.push(name);
+                stmts.remove(i);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // Recurse into nested scopes.
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::While { body, .. } | Stmt::ForEach { body, .. } => {
+                inline_single_use(body, report)
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                inline_single_use(then_branch, report);
+                inline_single_use(else_branch, report);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Counts references to bag `name` in a statement:
+/// (direct occurrences, occurrences inside nested loops).
+pub(crate) fn count_refs_in_stmt(s: &Stmt, name: &str) -> (usize, usize) {
+    fn in_rvalue(v: &RValue, name: &str) -> usize {
+        match v {
+            RValue::Bag(b) => count_refs_in_bag(b, name),
+            RValue::Scalar(e) => count_refs_in_scalar(e, name),
+        }
+    }
+    match s {
+        Stmt::ValDef { value, .. } | Stmt::VarDef { value, .. } | Stmt::Assign { value, .. } => {
+            (in_rvalue(value, name), 0)
+        }
+        Stmt::While { cond, body } => {
+            let mut inside = count_refs_in_scalar(cond, name);
+            for s in body {
+                let (o, l) = count_refs_in_stmt(s, name);
+                inside += o + l;
+            }
+            (0, inside)
+        }
+        Stmt::ForEach { seq, body, .. } => {
+            let mut inside = 0;
+            for s in body {
+                let (o, l) = count_refs_in_stmt(s, name);
+                inside += o + l;
+            }
+            (count_refs_in_scalar(seq, name), inside)
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let mut outside = count_refs_in_scalar(cond, name);
+            let mut inside = 0;
+            for s in then_branch.iter().chain(else_branch) {
+                let (o, l) = count_refs_in_stmt(s, name);
+                outside += o;
+                inside += l;
+            }
+            (outside, inside)
+        }
+        Stmt::Write { bag, .. } => (count_refs_in_bag(bag, name), 0),
+        Stmt::StatefulCreate { init, .. } => (count_refs_in_bag(init, name), 0),
+        Stmt::StatefulUpdate { messages, .. } => (count_refs_in_bag(messages, name), 0),
+    }
+}
+
+pub(crate) fn count_refs_in_bag(b: &BagExpr, name: &str) -> usize {
+    let mut refs = Vec::new();
+    crate::plan::collect_bagexpr_refs(b, &mut refs);
+    refs.iter().filter(|r| r.as_str() == name).count()
+}
+
+pub(crate) fn count_refs_in_scalar(e: &ScalarExpr, name: &str) -> usize {
+    let mut refs = Vec::new();
+    crate::plan::collect_scalar_bag_refs(e, &mut refs);
+    refs.iter().filter(|r| r.as_str() == name).count()
+}
+
+fn substitute_ref_in_stmt(s: &mut Stmt, name: &str, def: &BagExpr) {
+    match s {
+        Stmt::ValDef { value, .. } | Stmt::VarDef { value, .. } | Stmt::Assign { value, .. } => {
+            match value {
+                RValue::Bag(b) => *b = b.substitute_ref(name, def),
+                RValue::Scalar(e) => *e = substitute_ref_in_scalar(e, name, def),
+            }
+        }
+        Stmt::While { cond, body } => {
+            *cond = substitute_ref_in_scalar(cond, name, def);
+            for s in body {
+                substitute_ref_in_stmt(s, name, def);
+            }
+        }
+        Stmt::ForEach { seq, body, .. } => {
+            *seq = substitute_ref_in_scalar(seq, name, def);
+            for s in body {
+                substitute_ref_in_stmt(s, name, def);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            *cond = substitute_ref_in_scalar(cond, name, def);
+            for s in then_branch.iter_mut().chain(else_branch.iter_mut()) {
+                substitute_ref_in_stmt(s, name, def);
+            }
+        }
+        Stmt::Write { bag, .. } => *bag = bag.substitute_ref(name, def),
+        Stmt::StatefulCreate { init, .. } => *init = init.substitute_ref(name, def),
+        Stmt::StatefulUpdate { messages, .. } => *messages = messages.substitute_ref(name, def),
+    }
+}

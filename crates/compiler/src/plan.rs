@@ -1,0 +1,545 @@
+//! Abstract dataflow plans — the combinator trees produced by lowering
+//! (paper, Section 4.3).
+//!
+//! Each [`Plan`] node corresponds to a higher-order operator supported by the
+//! target runtimes (map, flatMap, filter, join, cross, groupBy/aggBy,
+//! fold, set operations) plus the *physical* nodes introduced by the
+//! optimizer: [`Plan::Cache`] and [`Plan::Repartition`]. Join strategy is
+//! deliberately [`JoinStrategy::Auto`] by default — the just-in-time part of
+//! the paper's pipeline picks broadcast vs. repartition when actual input
+//! sizes are known (Section 4.3.1, "we trigger the actual dataflow
+//! generation just-in-time at runtime").
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::bag_expr::BagExpr;
+use crate::expr::{FoldOp, Lambda, ScalarExpr};
+use crate::value::Value;
+
+/// Join multiplicity semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Inner equi-join producing `(left, right)` tuples.
+    Inner,
+    /// Left semi-join: keeps left elements with at least one match.
+    LeftSemi,
+    /// Left anti-join: keeps left elements with no match.
+    LeftAnti,
+}
+
+/// Physical join strategy, fixed just-in-time unless pinned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Decide from runtime input sizes.
+    Auto,
+    /// Ship the right side to every worker.
+    Broadcast,
+    /// Hash-partition both sides on the join key.
+    Repartition,
+}
+
+/// An abstract dataflow plan node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Plan {
+    /// Scan of a named dataset.
+    Source {
+        /// Catalog name.
+        name: String,
+    },
+    /// A literal collection shipped from the driver (`parallelize`).
+    Literal {
+        /// The rows.
+        rows: Vec<Value>,
+    },
+    /// A reference to a driver-bound bag (a thunk; forcing it may trigger
+    /// re-execution or hit a cache).
+    RefBag {
+        /// Driver variable name.
+        name: String,
+    },
+    /// A small bag computed by a driver-side scalar expression.
+    OfScalar {
+        /// The expression (must evaluate to `Value::Bag`).
+        expr: ScalarExpr,
+    },
+    /// Element-wise transformation.
+    Map {
+        /// Upstream plan.
+        input: Box<Plan>,
+        /// The UDF.
+        f: Lambda,
+    },
+    /// Element-to-bag expansion; the body is evaluated locally per element.
+    FlatMap {
+        /// Upstream plan.
+        input: Box<Plan>,
+        /// Bound element variable.
+        param: String,
+        /// Bag-valued body.
+        body: BagExpr,
+    },
+    /// Element filter.
+    Filter {
+        /// Upstream plan.
+        input: Box<Plan>,
+        /// Keep-predicate.
+        p: Lambda,
+    },
+    /// Equi-join (with optional non-equi residual predicate).
+    Join {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Key extractor on left elements.
+        lkey: Lambda,
+        /// Key extractor on right elements.
+        rkey: Lambda,
+        /// Residual predicate over `(left, right)` pairs.
+        residual: Option<Lambda>,
+        /// Inner / semi / anti.
+        kind: JoinKind,
+        /// Physical strategy.
+        strategy: JoinStrategy,
+    },
+    /// Cartesian product producing `(left, right)` tuples.
+    Cross {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Grouping with *materialized* group values `(key, {{values}})`.
+    GroupBy {
+        /// Upstream plan.
+        input: Box<Plan>,
+        /// Key extractor.
+        key: Lambda,
+    },
+    /// Fused grouping + folding `(key, acc)` — the target of fold-group
+    /// fusion; executes with combiner-side partial aggregation.
+    AggBy {
+        /// Upstream plan.
+        input: Box<Plan>,
+        /// Key extractor.
+        key: Lambda,
+        /// Per-group fold.
+        fold: FoldOp,
+    },
+    /// Terminal fold producing a scalar.
+    Fold {
+        /// Upstream plan.
+        input: Box<Plan>,
+        /// The fold algebra.
+        fold: FoldOp,
+    },
+    /// Bag union.
+    Plus {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Bag difference.
+    Minus {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Upstream plan.
+        input: Box<Plan>,
+    },
+    /// Materialize-and-reuse marker inserted by the caching heuristic.
+    Cache {
+        /// Upstream plan.
+        input: Box<Plan>,
+    },
+    /// Enforced hash partitioning inserted by partition pulling.
+    Repartition {
+        /// Upstream plan.
+        input: Box<Plan>,
+        /// Partitioning key.
+        key: Lambda,
+    },
+}
+
+impl Plan {
+    /// Child plans, for generic traversals.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Source { .. }
+            | Plan::Literal { .. }
+            | Plan::RefBag { .. }
+            | Plan::OfScalar { .. } => vec![],
+            Plan::Map { input, .. }
+            | Plan::FlatMap { input, .. }
+            | Plan::Filter { input, .. }
+            | Plan::GroupBy { input, .. }
+            | Plan::AggBy { input, .. }
+            | Plan::Fold { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Cache { input }
+            | Plan::Repartition { input, .. } => vec![input],
+            Plan::Join { left, right, .. }
+            | Plan::Cross { left, right }
+            | Plan::Plus { left, right }
+            | Plan::Minus { left, right } => vec![left, right],
+        }
+    }
+
+    /// Visits every node in the plan tree (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Plan)) {
+        f(self);
+        for c in self.children() {
+            c.visit(f);
+        }
+    }
+
+    /// All driver-bag references in this plan: `RefBag` inputs *and*
+    /// `BagExpr::Ref`s hidden inside UDF lambdas (the latter become
+    /// broadcasts at runtime — paper Fig. 3b, "Driver to UDFs").
+    pub fn bag_refs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| match p {
+            Plan::RefBag { name } => out.push(name.clone()),
+            Plan::OfScalar { expr } => collect_scalar_bag_refs(expr, &mut out),
+            Plan::Map { f, .. } | Plan::Filter { p: f, .. } => {
+                collect_scalar_bag_refs(&f.body, &mut out)
+            }
+            Plan::FlatMap { body, .. } => collect_bagexpr_refs(body, &mut out),
+            Plan::Join {
+                lkey,
+                rkey,
+                residual,
+                ..
+            } => {
+                collect_scalar_bag_refs(&lkey.body, &mut out);
+                collect_scalar_bag_refs(&rkey.body, &mut out);
+                if let Some(r) = residual {
+                    collect_scalar_bag_refs(&r.body, &mut out);
+                }
+            }
+            Plan::GroupBy { key, .. } => collect_scalar_bag_refs(&key.body, &mut out),
+            Plan::AggBy { key, fold, .. } => {
+                collect_scalar_bag_refs(&key.body, &mut out);
+                collect_scalar_bag_refs(&fold.zero, &mut out);
+                collect_scalar_bag_refs(&fold.sng.body, &mut out);
+                collect_scalar_bag_refs(&fold.uni.body, &mut out);
+            }
+            Plan::Fold { fold, .. } => {
+                collect_scalar_bag_refs(&fold.zero, &mut out);
+                collect_scalar_bag_refs(&fold.sng.body, &mut out);
+                collect_scalar_bag_refs(&fold.uni.body, &mut out);
+            }
+            Plan::Repartition { key, .. } => collect_scalar_bag_refs(&key.body, &mut out),
+            _ => {}
+        });
+        out
+    }
+
+    /// Driver *scalar* variables free in the plan's UDFs — these are
+    /// broadcast to workers as read-only variables.
+    pub fn free_scalar_vars(&self) -> HashSet<String> {
+        let mut out = HashSet::new();
+        self.visit(&mut |p| {
+            let mut lams: Vec<&Lambda> = Vec::new();
+            match p {
+                Plan::Map { f, .. } | Plan::Filter { p: f, .. } => lams.push(f),
+                Plan::FlatMap { param, body, .. } => {
+                    let mut fv = body.free_vars();
+                    fv.remove(param);
+                    out.extend(fv);
+                }
+                Plan::Join {
+                    lkey,
+                    rkey,
+                    residual,
+                    ..
+                } => {
+                    lams.push(lkey);
+                    lams.push(rkey);
+                    if let Some(r) = residual {
+                        lams.push(r);
+                    }
+                }
+                Plan::GroupBy { key, .. } | Plan::Repartition { key, .. } => lams.push(key),
+                Plan::AggBy { key, fold, .. } => {
+                    lams.push(key);
+                    out.extend(fold.zero.free_vars());
+                    lams.push(&fold.sng);
+                    lams.push(&fold.uni);
+                }
+                Plan::Fold { fold, .. } => {
+                    out.extend(fold.zero.free_vars());
+                    lams.push(&fold.sng);
+                    lams.push(&fold.uni);
+                }
+                Plan::OfScalar { expr } => out.extend(expr.free_vars()),
+                _ => {}
+            }
+            for lam in lams {
+                out.extend(lam.free_vars());
+            }
+        });
+        out
+    }
+
+    /// True if the subtree contains a `Cache` node.
+    pub fn has_cache(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |p| {
+            if matches!(p, Plan::Cache { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// A one-line operator name (for plan rendering and tests).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Plan::Source { .. } => "Source",
+            Plan::Literal { .. } => "Literal",
+            Plan::RefBag { .. } => "RefBag",
+            Plan::OfScalar { .. } => "OfScalar",
+            Plan::Map { .. } => "Map",
+            Plan::FlatMap { .. } => "FlatMap",
+            Plan::Filter { .. } => "Filter",
+            Plan::Join { .. } => "Join",
+            Plan::Cross { .. } => "Cross",
+            Plan::GroupBy { .. } => "GroupBy",
+            Plan::AggBy { .. } => "AggBy",
+            Plan::Fold { .. } => "Fold",
+            Plan::Plus { .. } => "Plus",
+            Plan::Minus { .. } => "Minus",
+            Plan::Distinct { .. } => "Distinct",
+            Plan::Cache { .. } => "Cache",
+            Plan::Repartition { .. } => "Repartition",
+        }
+    }
+
+    /// Renders the plan as a Graphviz DOT digraph (one node per operator,
+    /// edges child → parent along the data flow) — handy for inspecting what
+    /// the optimizer produced.
+    pub fn to_dot(&self) -> String {
+        fn label(p: &Plan) -> String {
+            match p {
+                Plan::Source { name } => format!("Source\n{name}"),
+                Plan::RefBag { name } => format!("RefBag\n{name}"),
+                Plan::Literal { rows } => format!("Literal\nn={}", rows.len()),
+                Plan::Join { kind, strategy, .. } => {
+                    format!("Join\n{kind:?}/{strategy:?}")
+                }
+                Plan::AggBy { fold, .. } => format!("AggBy\nfold[{:?}]", fold.kind),
+                Plan::Fold { fold, .. } => format!("Fold\n[{:?}]", fold.kind),
+                other => other.op_name().to_string(),
+            }
+        }
+        fn go(p: &Plan, out: &mut String, next_id: &mut usize) -> usize {
+            let id = *next_id;
+            *next_id += 1;
+            out.push_str(&format!("  n{id} [label=\"{}\"];\n", label(p)));
+            for c in p.children() {
+                let cid = go(c, out, next_id);
+                out.push_str(&format!("  n{cid} -> n{id};\n"));
+            }
+            id
+        }
+        let mut body = String::new();
+        let mut next = 0usize;
+        go(self, &mut body, &mut next);
+        format!("digraph plan {{\n  rankdir=BT;\n{body}}}\n")
+    }
+
+    /// Counts nodes with the given operator name.
+    pub fn count_ops(&self, name: &str) -> usize {
+        let mut n = 0;
+        self.visit(&mut |p| {
+            if p.op_name() == name {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+pub(crate) fn collect_scalar_bag_refs(e: &ScalarExpr, out: &mut Vec<String>) {
+    match e {
+        ScalarExpr::Lit(_) | ScalarExpr::Var(_) => {}
+        ScalarExpr::Field(inner, _) | ScalarExpr::UnOp(_, inner) => {
+            collect_scalar_bag_refs(inner, out)
+        }
+        ScalarExpr::BinOp(_, l, r) => {
+            collect_scalar_bag_refs(l, out);
+            collect_scalar_bag_refs(r, out);
+        }
+        ScalarExpr::Call(_, args) | ScalarExpr::Tuple(args) => {
+            for a in args {
+                collect_scalar_bag_refs(a, out);
+            }
+        }
+        ScalarExpr::If(c, t, el) => {
+            collect_scalar_bag_refs(c, out);
+            collect_scalar_bag_refs(t, out);
+            collect_scalar_bag_refs(el, out);
+        }
+        ScalarExpr::Fold(bag, fold) => {
+            collect_bagexpr_refs(bag, out);
+            collect_scalar_bag_refs(&fold.zero, out);
+            collect_scalar_bag_refs(&fold.sng.body, out);
+            collect_scalar_bag_refs(&fold.uni.body, out);
+        }
+        ScalarExpr::BagOf(bag) => collect_bagexpr_refs(bag, out),
+    }
+}
+
+pub(crate) fn collect_bagexpr_refs(b: &BagExpr, out: &mut Vec<String>) {
+    match b {
+        BagExpr::Read { .. } | BagExpr::Values(_) => {}
+        BagExpr::Ref { name } => out.push(name.clone()),
+        BagExpr::OfValue(e) => collect_scalar_bag_refs(e, out),
+        BagExpr::Map { input, f } | BagExpr::Filter { input, p: f } => {
+            collect_bagexpr_refs(input, out);
+            collect_scalar_bag_refs(&f.body, out);
+        }
+        BagExpr::FlatMap { input, f } => {
+            collect_bagexpr_refs(input, out);
+            collect_bagexpr_refs(&f.body, out);
+        }
+        BagExpr::GroupBy { input, key } => {
+            collect_bagexpr_refs(input, out);
+            collect_scalar_bag_refs(&key.body, out);
+        }
+        BagExpr::AggBy { input, key, fold } => {
+            collect_bagexpr_refs(input, out);
+            collect_scalar_bag_refs(&key.body, out);
+            collect_scalar_bag_refs(&fold.zero, out);
+            collect_scalar_bag_refs(&fold.sng.body, out);
+            collect_scalar_bag_refs(&fold.uni.body, out);
+        }
+        BagExpr::Plus(l, r) | BagExpr::Minus(l, r) => {
+            collect_bagexpr_refs(l, out);
+            collect_bagexpr_refs(r, out);
+        }
+        BagExpr::Distinct(e) => collect_bagexpr_refs(e, out),
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(p: &Plan, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+            let pad = "  ".repeat(indent);
+            match p {
+                Plan::Source { name } => writeln!(f, "{pad}Source({name})")?,
+                Plan::Literal { rows } => writeln!(f, "{pad}Literal(n={})", rows.len())?,
+                Plan::RefBag { name } => writeln!(f, "{pad}RefBag({name})")?,
+                Plan::OfScalar { expr } => writeln!(f, "{pad}OfScalar({expr})")?,
+                Plan::Map { f: lam, .. } => writeln!(f, "{pad}Map({lam})")?,
+                Plan::FlatMap { param, body, .. } => writeln!(f, "{pad}FlatMap(λ{param}. {body})")?,
+                Plan::Filter { p: lam, .. } => writeln!(f, "{pad}Filter({lam})")?,
+                Plan::Join {
+                    lkey,
+                    rkey,
+                    kind,
+                    strategy,
+                    residual,
+                    ..
+                } => writeln!(
+                    f,
+                    "{pad}Join[{kind:?},{strategy:?}]({lkey} == {rkey}{})",
+                    if residual.is_some() {
+                        ", +residual"
+                    } else {
+                        ""
+                    }
+                )?,
+                Plan::Cross { .. } => writeln!(f, "{pad}Cross")?,
+                Plan::GroupBy { key, .. } => writeln!(f, "{pad}GroupBy({key})")?,
+                Plan::AggBy { key, fold, .. } => {
+                    writeln!(f, "{pad}AggBy({key}, fold[{:?}])", fold.kind)?
+                }
+                Plan::Fold { fold, .. } => writeln!(f, "{pad}Fold[{:?}]", fold.kind)?,
+                Plan::Plus { .. } => writeln!(f, "{pad}Plus")?,
+                Plan::Minus { .. } => writeln!(f, "{pad}Minus")?,
+                Plan::Distinct { .. } => writeln!(f, "{pad}Distinct")?,
+                Plan::Cache { .. } => writeln!(f, "{pad}Cache")?,
+                Plan::Repartition { key, .. } => writeln!(f, "{pad}Repartition({key})")?,
+            }
+            for c in p.children() {
+                go(c, f, indent + 1)?;
+            }
+            Ok(())
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bag_refs_sees_lambda_nested_refs() {
+        // Map whose UDF folds over a driver bag (k-means nearest-centroid).
+        let p = Plan::Map {
+            input: Box::new(Plan::Source {
+                name: "points".into(),
+            }),
+            f: Lambda::new(
+                ["p"],
+                ScalarExpr::Fold(
+                    Box::new(BagExpr::var("ctrds")),
+                    Box::new(FoldOp::min_by(Lambda::new(
+                        ["c"],
+                        ScalarExpr::var("c").get(0),
+                    ))),
+                ),
+            ),
+        };
+        assert_eq!(p.bag_refs(), vec!["ctrds".to_string()]);
+    }
+
+    #[test]
+    fn free_scalar_vars_exclude_params() {
+        let p = Plan::Filter {
+            input: Box::new(Plan::Source { name: "xs".into() }),
+            p: Lambda::new(["x"], ScalarExpr::var("x").gt(ScalarExpr::var("threshold"))),
+        };
+        let fv = p.free_scalar_vars();
+        assert!(fv.contains("threshold"));
+        assert!(!fv.contains("x"));
+    }
+
+    #[test]
+    fn to_dot_emits_nodes_and_edges() {
+        let p = Plan::Filter {
+            input: Box::new(Plan::Source { name: "xs".into() }),
+            p: Lambda::new(["x"], ScalarExpr::lit(true)),
+        };
+        let dot = p.to_dot();
+        assert!(dot.starts_with("digraph plan {"), "{dot}");
+        assert!(dot.contains("Source"), "{dot}");
+        assert!(dot.contains("Filter"), "{dot}");
+        assert!(dot.contains("->"), "{dot}");
+    }
+
+    #[test]
+    fn count_ops_and_display() {
+        let p = Plan::Filter {
+            input: Box::new(Plan::Map {
+                input: Box::new(Plan::Source { name: "xs".into() }),
+                f: Lambda::new(["x"], ScalarExpr::var("x")),
+            }),
+            p: Lambda::new(["x"], ScalarExpr::lit(true)),
+        };
+        assert_eq!(p.count_ops("Map"), 1);
+        assert_eq!(p.count_ops("Source"), 1);
+        let text = p.to_string();
+        assert!(text.contains("Filter"));
+        assert!(text.contains("  Map"));
+    }
+}

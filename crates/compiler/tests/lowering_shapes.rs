@@ -1,0 +1,287 @@
+//! Structural tests of the combinator lowering (paper, Fig. 2/3a): the
+//! rules must produce the expected operator shapes — filters pushed below
+//! joins, equi-joins preferred to cross products, dependent generators as
+//! flatMaps, existentials as semi-/anti-joins.
+
+use emma_compiler::bag_expr::{BagExpr, BagLambda};
+use emma_compiler::expr::{FoldOp, Lambda, ScalarExpr};
+use emma_compiler::pipeline::{parallelize, CStmt, OptimizerFlags};
+use emma_compiler::plan::{JoinKind, Plan};
+use emma_compiler::program::{Program, Stmt};
+
+fn compile_write(bag: BagExpr, flags: &OptimizerFlags) -> Plan {
+    let p = Program::new(vec![Stmt::write("out", bag)]);
+    let compiled = parallelize(&p, flags);
+    let CStmt::Write { plan, .. } = &compiled.body[0] else {
+        panic!("expected a write statement");
+    };
+    plan.clone()
+}
+
+fn var(n: &str) -> ScalarExpr {
+    ScalarExpr::var(n)
+}
+
+#[test]
+fn filters_are_pushed_below_joins() {
+    // for (a <- A; b <- B; if a.1 > 3; if b.1 < 7; if a.0 == b.0) yield …
+    let inner = BagExpr::read("B")
+        .filter(Lambda::new(["b"], var("a").get(0).eq(var("b").get(0))))
+        .filter(Lambda::new(
+            ["b"],
+            var("b").get(1).lt(ScalarExpr::lit(7i64)),
+        ))
+        .map(Lambda::new(["b"], var("b").get(1)));
+    let e = BagExpr::read("A")
+        .filter(Lambda::new(
+            ["a"],
+            var("a").get(1).gt(ScalarExpr::lit(3i64)),
+        ))
+        .flat_map(BagLambda::new("a", inner));
+    let plan = compile_write(e, &OptimizerFlags::all());
+    assert_eq!(plan.count_ops("Join"), 1, "{plan}");
+    // Both single-side filters sit below the join, one per side.
+    let mut filters_below_join = 0;
+    plan.visit(&mut |p| {
+        if let Plan::Join { left, right, .. } = p {
+            filters_below_join = left.count_ops("Filter") + right.count_ops("Filter");
+        }
+    });
+    assert_eq!(filters_below_join, 2, "{plan}");
+    // No cross products.
+    assert_eq!(plan.count_ops("Cross"), 0, "{plan}");
+}
+
+#[test]
+fn unrelated_generators_fall_back_to_cross() {
+    // for (a <- A; b <- B) yield (a, b) — no join predicate.
+    let e = BagExpr::read("A").flat_map(BagLambda::new(
+        "a",
+        BagExpr::read("B").map(Lambda::new(
+            ["b"],
+            ScalarExpr::Tuple(vec![var("a"), var("b")]),
+        )),
+    ));
+    let plan = compile_write(e, &OptimizerFlags::all());
+    assert_eq!(plan.count_ops("Cross"), 1, "{plan}");
+    assert_eq!(plan.count_ops("Join"), 0, "{plan}");
+}
+
+#[test]
+fn dependent_generator_lowers_to_flat_map() {
+    // for (v <- V; n <- v.1) yield (n, v.0) — n ranges over v's own bag.
+    let e = BagExpr::read("V").flat_map(BagLambda::new(
+        "v",
+        BagExpr::of_value(var("v").get(1)).map(Lambda::new(
+            ["n"],
+            ScalarExpr::Tuple(vec![var("n"), var("v").get(0)]),
+        )),
+    ));
+    let plan = compile_write(e, &OptimizerFlags::all());
+    assert_eq!(plan.count_ops("FlatMap"), 1, "{plan}");
+    assert_eq!(plan.count_ops("Cross"), 0, "{plan}");
+    assert_eq!(plan.count_ops("Join"), 0, "{plan}");
+}
+
+#[test]
+fn exists_lowers_to_left_semi_join() {
+    let e = BagExpr::read("A").filter(Lambda::new(
+        ["a"],
+        BagExpr::read("B").exists(Lambda::new(["b"], var("b").get(0).eq(var("a").get(0)))),
+    ));
+    let plan = compile_write(e, &OptimizerFlags::all());
+    let mut kinds = Vec::new();
+    plan.visit(&mut |p| {
+        if let Plan::Join { kind, .. } = p {
+            kinds.push(*kind);
+        }
+    });
+    assert_eq!(kinds, vec![JoinKind::LeftSemi], "{plan}");
+}
+
+#[test]
+fn negated_exists_lowers_to_left_anti_join() {
+    let e = BagExpr::read("A").filter(Lambda::new(
+        ["a"],
+        BagExpr::read("B")
+            .exists(Lambda::new(["b"], var("b").get(0).eq(var("a").get(0))))
+            .not(),
+    ));
+    let plan = compile_write(e, &OptimizerFlags::all());
+    let mut kinds = Vec::new();
+    plan.visit(&mut |p| {
+        if let Plan::Join { kind, .. } = p {
+            kinds.push(*kind);
+        }
+    });
+    assert_eq!(kinds, vec![JoinKind::LeftAnti], "{plan}");
+}
+
+#[test]
+fn exists_with_non_equi_conjunct_keeps_it_as_residual() {
+    // exists(b => b.0 == a.0 && b.1 < a.1): the eq conjunct becomes the key,
+    // the inequality rides along as the join residual.
+    let e = BagExpr::read("A").filter(Lambda::new(
+        ["a"],
+        BagExpr::read("B").exists(Lambda::new(
+            ["b"],
+            var("b")
+                .get(0)
+                .eq(var("a").get(0))
+                .and(var("b").get(1).lt(var("a").get(1))),
+        )),
+    ));
+    let plan = compile_write(e, &OptimizerFlags::all());
+    let mut found = false;
+    plan.visit(&mut |p| {
+        if let Plan::Join { kind, residual, .. } = p {
+            assert_eq!(*kind, JoinKind::LeftSemi);
+            assert!(residual.is_some(), "non-equi conjunct must be residual");
+            found = true;
+        }
+    });
+    assert!(found, "{plan}");
+}
+
+#[test]
+fn without_normalization_chains_stay_unfused() {
+    let e = BagExpr::read("A")
+        .map(Lambda::new(["x"], var("x").get(0)))
+        .map(Lambda::new(["y"], var("y").add(ScalarExpr::lit(1i64))))
+        .filter(Lambda::new(["z"], var("z").gt(ScalarExpr::lit(0i64))));
+    let unfused = compile_write(e.clone(), &OptimizerFlags::none());
+    assert_eq!(unfused.count_ops("Map"), 2, "{unfused}");
+    let fused = compile_write(e, &OptimizerFlags::all());
+    // Fusion collapses the chain into a single map (+ filter pushed down).
+    assert_eq!(fused.count_ops("Map"), 1, "{fused}");
+}
+
+#[test]
+fn fold_of_comprehension_lowers_to_fold_sink() {
+    // (for (x <- A; if x.0 > 2) yield x.1).sum() as a driver scalar.
+    let sum = BagExpr::read("A")
+        .filter(Lambda::new(
+            ["x"],
+            var("x").get(0).gt(ScalarExpr::lit(2i64)),
+        ))
+        .map(Lambda::new(["x"], var("x").get(1)))
+        .fold(FoldOp::sum());
+    let program = Program::new(vec![Stmt::val("total", sum)]);
+    let compiled = parallelize(&program, &OptimizerFlags::all());
+    let CStmt::Bind { value, .. } = &compiled.body[0] else {
+        panic!("expected a bind");
+    };
+    let emma_compiler::pipeline::CRValue::Scalar { pre, expr } = value else {
+        panic!("scalar rvalue expected");
+    };
+    assert_eq!(pre.len(), 1, "one extracted dataflow");
+    assert_eq!(pre[0].plan.count_ops("Fold"), 1, "{}", pre[0].plan);
+    // The residual expression is just the thunk variable.
+    assert!(matches!(expr, ScalarExpr::Var(_)));
+}
+
+#[test]
+fn set_operators_lower_structurally() {
+    let e = BagExpr::read("A")
+        .plus(BagExpr::read("B"))
+        .minus(BagExpr::read("C"))
+        .distinct();
+    let plan = compile_write(e, &OptimizerFlags::all());
+    assert_eq!(plan.count_ops("Plus"), 1);
+    assert_eq!(plan.count_ops("Minus"), 1);
+    assert_eq!(plan.count_ops("Distinct"), 1);
+}
+
+#[test]
+fn three_way_join_chains_two_joins() {
+    // for (a <- A; b <- B; c <- C; if a.0 == b.0; if b.1 == c.0) yield …
+    let innermost = BagExpr::read("C")
+        .filter(Lambda::new(["c"], var("b").get(1).eq(var("c").get(0))))
+        .map(Lambda::new(
+            ["c"],
+            ScalarExpr::Tuple(vec![var("a").get(1), var("b").get(1), var("c").get(1)]),
+        ));
+    let middle = BagExpr::read("B")
+        .filter(Lambda::new(["b"], var("a").get(0).eq(var("b").get(0))))
+        .flat_map(BagLambda::new("b", innermost));
+    let e = BagExpr::read("A").flat_map(BagLambda::new("a", middle));
+    let plan = compile_write(e, &OptimizerFlags::all());
+    assert_eq!(plan.count_ops("Join"), 2, "{plan}");
+    assert_eq!(plan.count_ops("Cross"), 0, "{plan}");
+}
+
+#[test]
+fn cache_nodes_wrap_only_multiply_referenced_bindings() {
+    let program = Program::new(vec![
+        Stmt::val("once", BagExpr::read("A").map(Lambda::new(["x"], var("x")))),
+        Stmt::val(
+            "twice",
+            BagExpr::read("B").map(Lambda::new(["x"], var("x"))),
+        ),
+        Stmt::write("o1", BagExpr::var("twice")),
+        Stmt::write(
+            "o2",
+            BagExpr::var("twice").map(Lambda::new(["x"], var("x"))),
+        ),
+        Stmt::write("o3", BagExpr::var("once")),
+    ]);
+    let compiled = parallelize(&program, &OptimizerFlags::all().with_inlining(false));
+    for stmt in &compiled.body {
+        if let CStmt::Bind { name, value, .. } = stmt {
+            let emma_compiler::pipeline::CRValue::Bag(plan) = value else {
+                continue;
+            };
+            if name == "twice" {
+                assert!(matches!(plan, Plan::Cache { .. }), "twice must be cached");
+            }
+            if name == "once" {
+                assert!(
+                    !matches!(plan, Plan::Cache { .. }),
+                    "once must not be cached"
+                );
+            }
+        }
+    }
+    assert!(compiled.report.cached.contains(&"twice".to_string()));
+}
+
+#[test]
+fn repartition_lands_inside_the_cache() {
+    // A join inside a loop over two cached defs: Cache { Repartition { … } }.
+    let join_in_loop = BagExpr::var("left").flat_map(BagLambda::new(
+        "l",
+        BagExpr::var("right")
+            .filter(Lambda::new(["r"], var("l").get(0).eq(var("r").get(0))))
+            .map(Lambda::new(["r"], var("r").get(1))),
+    ));
+    let program = Program::new(vec![
+        Stmt::val("left", BagExpr::read("A").map(Lambda::new(["x"], var("x")))),
+        Stmt::val(
+            "right",
+            BagExpr::read("B").map(Lambda::new(["x"], var("x"))),
+        ),
+        Stmt::var("i", ScalarExpr::lit(0i64)),
+        Stmt::while_loop(
+            var("i").lt(ScalarExpr::lit(3i64)),
+            vec![
+                Stmt::val("j", join_in_loop.count()),
+                Stmt::assign("i", var("i").add(ScalarExpr::lit(1i64))),
+            ],
+        ),
+    ]);
+    let compiled = parallelize(&program, &OptimizerFlags::all());
+    let mut shapes = 0;
+    for stmt in &compiled.body {
+        if let CStmt::Bind {
+            value: emma_compiler::pipeline::CRValue::Bag(Plan::Cache { input }),
+            ..
+        } = stmt
+        {
+            if matches!(**input, Plan::Repartition { .. }) {
+                shapes += 1;
+            }
+        }
+    }
+    assert_eq!(shapes, 2, "both join inputs get Cache{{Repartition}}");
+    assert_eq!(compiled.report.partitions_pulled.len(), 2);
+}

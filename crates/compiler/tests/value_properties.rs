@@ -1,0 +1,112 @@
+//! Property-based tests of the dynamic value model: total order laws,
+//! hash/equality consistency (values serve as grouping and join keys), and
+//! byte-accounting monotonicity.
+
+use emma_compiler::value::Value;
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only in the random pool; NaN is tested separately.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-z]{0,12}".prop_map(Value::str),
+        prop::collection::vec(-1e6f64..1e6, 0..4).prop_map(Value::vector),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::tuple),
+            prop::collection::vec(inner, 0..4).prop_map(Value::bag),
+        ]
+    })
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn equality_implies_equal_hashes(a in value(), b in value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent(a in value(), b in value(), c in value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => {
+                prop_assert_eq!(b.cmp(&a), Ordering::Equal);
+                prop_assert_eq!(&a, &b, "Equal ordering must mean equality");
+            }
+        }
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // Sorting never panics and is stable under resort.
+        let mut v1 = vec![a.clone(), b.clone(), c.clone()];
+        v1.sort();
+        let mut v2 = v1.clone();
+        v2.sort();
+        prop_assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn bag_equality_is_order_insensitive(xs in prop::collection::vec(value(), 0..6)) {
+        let forward = Value::bag(xs.clone());
+        let mut rev = xs;
+        rev.reverse();
+        let backward = Value::bag(rev);
+        prop_assert_eq!(&forward, &backward);
+        prop_assert_eq!(hash_of(&forward), hash_of(&backward));
+    }
+
+    #[test]
+    fn tuples_are_order_sensitive(a in value(), b in value()) {
+        let ab = Value::tuple(vec![a.clone(), b.clone()]);
+        let ba = Value::tuple(vec![b.clone(), a.clone()]);
+        prop_assert_eq!(ab == ba, a == b);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_containers(xs in prop::collection::vec(value(), 1..5)) {
+        let whole = Value::tuple(xs.clone());
+        let parts: u64 = xs.iter().map(Value::approx_bytes).sum();
+        prop_assert!(whole.approx_bytes() >= parts);
+        prop_assert!(whole.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn int_float_coercion_is_symmetric(i in -1_000_000i64..1_000_000) {
+        let int = Value::Int(i);
+        let float = Value::Float(i as f64);
+        prop_assert_eq!(&int, &float);
+        prop_assert_eq!(hash_of(&int), hash_of(&float));
+        prop_assert_eq!(int.cmp(&float), std::cmp::Ordering::Equal);
+    }
+}
+
+#[test]
+fn nan_is_a_normal_citizen() {
+    let nan = Value::Float(f64::NAN);
+    assert_eq!(nan, Value::Float(f64::NAN));
+    assert_eq!(hash_of(&nan), hash_of(&Value::Float(f64::NAN)));
+    // Sorting a vector containing NaN terminates and is deterministic.
+    let mut v = vec![Value::Float(1.0), nan.clone(), Value::Float(-1.0)];
+    v.sort();
+    assert_eq!(v.len(), 3);
+}

@@ -1,0 +1,45 @@
+//! The [`Grp`] type produced by grouping.
+//!
+//! `DataBag::group_by` yields `DataBag<Grp<K, DataBag<A>>>`: each group
+//! carries its key and its values, and the values are a first-class
+//! `DataBag`. The fused `agg_by` operator reuses the same shape with the
+//! aggregate in place of the value bag (`Grp<K, B>`).
+
+/// A group: a key paired with the group's payload.
+///
+/// After `group_by`, `V = DataBag<A>` (the group's values); after the
+/// fold-group-fusion rewrite to `agg_by`, `V` is the fused aggregate tuple.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Grp<K, V> {
+    /// The grouping key shared by all grouped elements.
+    pub key: K,
+    /// The group payload (value bag, or fused aggregates).
+    pub values: V,
+}
+
+impl<K, V> Grp<K, V> {
+    /// Creates a group from its key and payload.
+    pub fn new(key: K, values: V) -> Self {
+        Grp { key, values }
+    }
+
+    /// Maps the payload while keeping the key.
+    pub fn map_values<W>(self, f: impl FnOnce(V) -> W) -> Grp<K, W> {
+        Grp {
+            key: self.key,
+            values: f(self.values),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_values_keeps_key() {
+        let g = Grp::new("k", 3).map_values(|v| v * 2);
+        assert_eq!(g.key, "k");
+        assert_eq!(g.values, 6);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for the algebraic foundations of the paper:
+//!
+//! * fold well-definedness — a fold with (unit, associative, commutative)
+//!   arguments yields the same result on every constructor tree that denotes
+//!   the same bag (Section 2.2.2, "Well-Definedness Conditions");
+//! * the semantic equations EQ-Unit / EQ-Assoc / EQ-Comm preserve the
+//!   denoted bag (Section 2.2.1);
+//! * banana split — a tuple of folds equals a fold over tuples
+//!   (Section 4.2.2);
+//! * fold-build fusion on groups — `group_by` + per-group fold equals the
+//!   fused `agg_by` (Section 4.2.2);
+//! * monad laws for `map` / `flat_map` up to bag equality.
+
+use emma_core::algebra::{ins_to_union, InsTree, UnionTree};
+use emma_core::fold::aliases;
+use emma_core::DataBag;
+use proptest::prelude::*;
+
+/// A strategy producing arbitrary-shape union trees over i64 elements.
+fn union_tree() -> impl Strategy<Value = UnionTree<i64>> {
+    let leaf = prop_oneof![Just(UnionTree::Emp), any::<i64>().prop_map(UnionTree::Sng),];
+    leaf.prop_recursive(6, 64, 4, |inner| {
+        (inner.clone(), inner).prop_map(|(l, r)| UnionTree::Uni(Box::new(l), Box::new(r)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn union_tree_equations_preserve_denotation(t in union_tree()) {
+        let bag = t.to_bag();
+        prop_assert!(t.clone().commute().to_bag().bag_eq(&bag));
+        prop_assert!(t.clone().reassociate().to_bag().bag_eq(&bag));
+        prop_assert!(t.clone().normalize_units().to_bag().bag_eq(&bag));
+    }
+
+    #[test]
+    fn fold_is_well_defined_across_tree_shapes(t in union_tree()) {
+        // Sum with wrapping arithmetic: associative, commutative, unit 0.
+        let sum_on_tree = t.fold(&0i64, &|x| *x, &|a, b| a.wrapping_add(b));
+        let sum_on_flat = t.to_bag().fold(0i64, |x| *x, |a, b| a.wrapping_add(b));
+        prop_assert_eq!(sum_on_tree, sum_on_flat);
+
+        // And again after a rewrite of the tree shape.
+        let rewritten = t.clone().commute().reassociate().normalize_units();
+        let sum_rewritten = rewritten.fold(&0i64, &|x| *x, &|a, b| a.wrapping_add(b));
+        prop_assert_eq!(sum_on_tree, sum_rewritten);
+    }
+
+    #[test]
+    fn min_fold_is_well_defined(t in union_tree()) {
+        let tree_min = t.fold(
+            &None::<i64>,
+            &|x| Some(*x),
+            &|a, b| match (a, b) {
+                (None, r) => r,
+                (l, None) => l,
+                (Some(l), Some(r)) => Some(l.min(r)),
+            },
+        );
+        prop_assert_eq!(tree_min, t.to_bag().min());
+    }
+
+    #[test]
+    fn ins_union_translation_preserves_bags(xs in prop::collection::vec(any::<i64>(), 0..64)) {
+        let ins = InsTree::from_slice(&xs);
+        let uni = ins_to_union(&ins);
+        prop_assert!(uni.to_bag().bag_eq(&ins.to_bag()));
+    }
+
+    #[test]
+    fn banana_split(xs in prop::collection::vec(any::<i32>(), 0..128)) {
+        let xs: Vec<i64> = xs.into_iter().map(i64::from).collect();
+        let bag = DataBag::from_seq(xs);
+        let sum = bag.fold_with(&aliases::isum_by(|x: &i64| *x));
+        let cnt = bag.fold_with(&aliases::count::<i64>());
+        let split = aliases::isum_by(|x: &i64| *x).zip(aliases::count::<i64>());
+        prop_assert_eq!(bag.fold_with(&split), (sum, cnt));
+    }
+
+    #[test]
+    fn fold_group_fusion_is_semantics_preserving(
+        xs in prop::collection::vec((0i64..10, any::<i32>()), 0..128)
+    ) {
+        let xs: Vec<(i64, i64)> = xs.into_iter().map(|(k, v)| (k, i64::from(v))).collect();
+        let bag = DataBag::from_seq(xs);
+        let fold = aliases::isum_by(|x: &(i64, i64)| x.1).zip(aliases::count());
+        // Unfused: materialize groups, then fold each group's values.
+        let unfused: DataBag<(i64, (i64, u64))> = bag
+            .group_by(|x| x.0)
+            .map(|g| (g.key, (g.values.isum_by(|x| x.1), g.values.count())));
+        // Fused: aggBy.
+        let fused: DataBag<(i64, (i64, u64))> =
+            bag.agg_by(|x| x.0, &fold).map(|g| (g.key, g.values));
+        prop_assert!(fused.bag_eq(&unfused));
+    }
+
+    #[test]
+    fn monad_left_identity(x in any::<i64>()) {
+        // of(x).flat_map(f) == f(x)
+        let f = |v: &i64| DataBag::from_seq(vec![*v, v.wrapping_mul(2)]);
+        prop_assert!(DataBag::of(x).flat_map(f).bag_eq(&f(&x)));
+    }
+
+    #[test]
+    fn monad_right_identity(xs in prop::collection::vec(any::<i64>(), 0..64)) {
+        let bag = DataBag::from_seq(xs);
+        prop_assert!(bag.flat_map(|x| DataBag::of(*x)).bag_eq(&bag));
+    }
+
+    #[test]
+    fn monad_associativity(xs in prop::collection::vec(any::<i32>(), 0..32)) {
+        let xs: Vec<i64> = xs.into_iter().map(i64::from).collect();
+        let bag = DataBag::from_seq(xs);
+        let f = |v: &i64| DataBag::from_seq(vec![*v, v.wrapping_add(1)]);
+        let g = |v: &i64| if v % 2 == 0 { DataBag::of(*v) } else { DataBag::empty() };
+        let lhs = bag.flat_map(f).flat_map(g);
+        let rhs = bag.flat_map(|x| f(x).flat_map(g));
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    #[test]
+    fn map_fusion(xs in prop::collection::vec(any::<i32>(), 0..64)) {
+        let xs: Vec<i64> = xs.into_iter().map(i64::from).collect();
+        let bag = DataBag::from_seq(xs);
+        let f = |x: &i64| x.wrapping_add(3);
+        let g = |x: i64| x.wrapping_mul(5);
+        let two_maps = bag.map(f).map(|y| g(*y));
+        let one_map = bag.map(|x| g(f(x)));
+        prop_assert!(two_maps.bag_eq(&one_map));
+    }
+
+    #[test]
+    fn filter_then_map_commutes_with_map_then_filter_on_preserved_predicate(
+        xs in prop::collection::vec(any::<i32>(), 0..64)
+    ) {
+        let xs: Vec<i64> = xs.into_iter().map(i64::from).collect();
+        let bag = DataBag::from_seq(xs);
+        // Predicate depends only on a property preserved by the map.
+        let lhs = bag.with_filter(|x| x % 2 == 0).map(|x| x.wrapping_add(2));
+        let rhs = bag.map(|x| x.wrapping_add(2)).with_filter(|x| x % 2 == 0);
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    #[test]
+    fn minus_plus_distinct_laws(
+        xs in prop::collection::vec(0i64..8, 0..48),
+        ys in prop::collection::vec(0i64..8, 0..48)
+    ) {
+        let a = DataBag::from_seq(xs);
+        let b = DataBag::from_seq(ys);
+        // |a ⊎ b| = |a| + |b|
+        prop_assert_eq!(a.plus(&b).count(), a.count() + b.count());
+        // (a ∖ b) has no more copies of any element than a.
+        let diff = a.minus(&b);
+        for v in 0..8i64 {
+            let in_a = a.iter().filter(|x| **x == v).count();
+            let in_diff = diff.iter().filter(|x| **x == v).count();
+            prop_assert!(in_diff <= in_a);
+        }
+        // distinct is idempotent and a sub-bag of the original.
+        let d = a.distinct();
+        prop_assert!(d.distinct().bag_eq(&d));
+        prop_assert!(d.count() <= a.count());
+        // a ∖ a = ∅
+        prop_assert!(a.minus(&a).is_empty());
+    }
+
+    #[test]
+    fn group_by_partitions_the_bag(
+        xs in prop::collection::vec((0i64..5, any::<i32>()), 0..64)
+    ) {
+        let xs: Vec<(i64, i64)> = xs.into_iter().map(|(k, v)| (k, i64::from(v))).collect();
+        let bag = DataBag::from_seq(xs);
+        let groups = bag.group_by(|x| x.0);
+        // Re-flattening the groups yields the original bag.
+        let reflattened = groups.flat_map(|g| g.values.clone());
+        prop_assert!(reflattened.bag_eq(&bag));
+        // Every group is non-empty and homogeneous in its key.
+        prop_assert!(groups.forall(|g| !g.values.is_empty()));
+        prop_assert!(groups.forall(|g| g.values.forall(|x| x.0 == g.key)));
+        // Keys are unique across groups.
+        let keys = groups.map(|g| g.key);
+        prop_assert!(keys.distinct().bag_eq(&keys));
+    }
+}

@@ -1,0 +1,21 @@
+//! # emma-datagen — synthetic workload generators
+//!
+//! Scaled-down synthetic equivalents of the datasets used in the paper's
+//! evaluation (Section 5 and Appendix B). Absolute sizes are laptop-scale;
+//! the *relative* shapes that drive the measured effects are preserved:
+//! email/blacklist join selectivity, clustered point clouds, power-law
+//! follower graphs, TPC-H Q1/Q4 filter selectivities, and the
+//! uniform/Gaussian/Pareto key distributions of the Fig. 5 group-aggregation
+//! study (Pareto assigns ~35 % of all tuples to a single hot key).
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod emails;
+pub mod graph;
+pub mod points;
+pub mod tpch;
+
+pub use distributions::KeyDistribution;

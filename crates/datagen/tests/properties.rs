@@ -1,0 +1,153 @@
+//! Property-based tests over the workload generators: determinism, schema
+//! shape, and the statistical properties the experiments rely on, across
+//! randomly drawn generator parameters.
+
+use emma_datagen::distributions::{self, KeyDistribution};
+use emma_datagen::emails::{self, EmailSpec};
+use emma_datagen::graph::{self, GraphSpec};
+use emma_datagen::points::{self, PointsSpec};
+use emma_datagen::tpch::{self, TpchSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn keyed_tuples_shape_and_determinism(
+        n in 1usize..2_000,
+        num_keys in 1i64..500,
+        dist_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let dist = KeyDistribution::all()[dist_idx];
+        let a = distributions::keyed_tuples(n, num_keys, dist, seed);
+        let b = distributions::keyed_tuples(n, num_keys, dist, seed);
+        prop_assert_eq!(&a, &b, "deterministic per seed");
+        prop_assert_eq!(a.len(), n);
+        for row in &a {
+            let t = row.field(0).unwrap().as_int().unwrap();
+            prop_assert!((0..num_keys).contains(&t));
+            row.field(1).unwrap().as_int().unwrap();
+            let p = row.field(2).unwrap().as_str().unwrap();
+            prop_assert!((3..=10).contains(&p.len()));
+        }
+    }
+
+    #[test]
+    fn email_generator_respects_spec(
+        emails_n in 1usize..500,
+        blacklist_n in 1usize..100,
+        body in 4usize..200,
+        seed in any::<u64>(),
+    ) {
+        let spec = EmailSpec {
+            emails: emails_n,
+            blacklist: blacklist_n,
+            ip_domain: (emails_n + blacklist_n) as i64,
+            body_bytes: body,
+            info_bytes: 16,
+            seed,
+        };
+        let (emails_rows, blacklist_rows) = emails::generate(&spec);
+        prop_assert_eq!(emails_rows.len(), emails_n);
+        prop_assert_eq!(blacklist_rows.len(), blacklist_n);
+        // Blacklisted IPs are exactly 0..blacklist_n: joins always have a
+        // well-defined hit set.
+        for (i, row) in blacklist_rows.iter().enumerate() {
+            prop_assert_eq!(
+                row.field(emails::blacklist::IP).unwrap().as_int().unwrap(),
+                i as i64
+            );
+        }
+        for e in &emails_rows {
+            let ip = e.field(emails::email::IP).unwrap().as_int().unwrap();
+            prop_assert!((0..spec.ip_domain).contains(&ip));
+            prop_assert_eq!(
+                e.field(emails::email::BODY).unwrap().as_str().unwrap().len(),
+                body
+            );
+        }
+    }
+
+    #[test]
+    fn point_clouds_are_separable(
+        n in 30usize..500,
+        k in 1usize..5,
+        dims in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let spec = PointsSpec { n, k, dims, stddev: 0.5, seed };
+        let (pts, centers) = points::generate(&spec);
+        prop_assert_eq!(pts.len(), n);
+        prop_assert_eq!(centers.len(), k);
+        // Every point is closer to its generating center than to any other
+        // (centers are 10 apart, noise is small).
+        for (i, p) in pts.iter().enumerate() {
+            let pos = p.field(points::point::POS).unwrap().as_vector().unwrap();
+            let d = |c: &Vec<f64>| -> f64 {
+                pos.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            let own = d(&centers[i % k]);
+            for (j, c) in centers.iter().enumerate() {
+                if j != i % k {
+                    prop_assert!(own < d(c), "point {i} misassigned");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graphs_are_well_formed(
+        vertices in 2usize..300,
+        avg_degree in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let spec = GraphSpec { vertices, avg_degree, skew: 1.2, seed };
+        let adj = graph::adjacency(&spec);
+        prop_assert_eq!(adj.len(), vertices.max(2));
+        for row in &adj {
+            let v = row.field(graph::vertex::ID).unwrap().as_int().unwrap();
+            let nbrs = row.field(graph::vertex::NEIGHBORS).unwrap().as_bag().unwrap();
+            prop_assert!(!nbrs.is_empty(), "every vertex has an out-edge");
+            let mut seen = std::collections::HashSet::new();
+            for n in nbrs {
+                let n = n.as_int().unwrap();
+                prop_assert!(n != v, "no self loops");
+                prop_assert!((0..adj.len() as i64).contains(&n));
+                prop_assert!(seen.insert(n), "no duplicate out-edges");
+            }
+        }
+        // The edge list matches the adjacency exactly.
+        let total: usize = adj
+            .iter()
+            .map(|r| r.field(1).unwrap().as_bag().unwrap().len())
+            .sum();
+        prop_assert_eq!(graph::edges(&adj).len(), total);
+    }
+
+    #[test]
+    fn tpch_rows_are_schema_valid(scale in 0.05f64..2.0, seed in any::<u64>()) {
+        let (lineitems, orders) = tpch::generate(&TpchSpec { scale, seed });
+        prop_assert!(!orders.is_empty());
+        prop_assert!(lineitems.len() >= orders.len());
+        let order_keys: std::collections::HashSet<i64> = orders
+            .iter()
+            .map(|o| o.field(tpch::orders::ORDER_KEY).unwrap().as_int().unwrap())
+            .collect();
+        prop_assert_eq!(order_keys.len(), orders.len(), "order keys unique");
+        for l in lineitems.iter().take(500) {
+            // Referential integrity.
+            let fk = l.field(tpch::lineitem::ORDER_KEY).unwrap().as_int().unwrap();
+            prop_assert!(order_keys.contains(&fk));
+            // Date sanity: ship < receipt; all after the order date window.
+            let ship = l.field(tpch::lineitem::SHIP_DATE).unwrap().as_int().unwrap();
+            let receipt = l.field(tpch::lineitem::RECEIPT_DATE).unwrap().as_int().unwrap();
+            prop_assert!(ship < receipt);
+            // Value ranges.
+            let disc = l.field(tpch::lineitem::DISCOUNT).unwrap().as_float().unwrap();
+            prop_assert!((0.0..=0.1).contains(&disc));
+            let qty = l.field(tpch::lineitem::QUANTITY).unwrap().as_float().unwrap();
+            prop_assert!((1.0..=50.0).contains(&qty));
+        }
+    }
+}

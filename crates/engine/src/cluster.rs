@@ -1,0 +1,219 @@
+//! Cluster specification and engine personalities.
+//!
+//! The paper evaluates on a 40-node cluster (8 cores, 16 GB each) running
+//! Spark v1.2 and Flink v0.8. This module describes the simulated cluster
+//! ([`ClusterSpec`]) and the behavioral differences between the two engine
+//! *personalities* ([`Personality`]) that the evaluation section attributes
+//! speedups to:
+//!
+//! * **Sparrow** (Spark-like): acyclic lazy dataflows with loop unrolling and
+//!   a per-stage job-scheduling overhead, an efficient torrent-style
+//!   broadcast, an *in-memory* cache, and a reduce-side hash aggregation that
+//!   degrades sharply once a reducer outgrows its memory (the paper's
+//!   "superlinear behavior" and the Pareto failure in Fig. 5).
+//! * **Flamingo** (Flink-like): native iterations (cheap per-iteration
+//!   overhead), pipelined operators, an expensive broadcast-variable
+//!   mechanism (the paper explains Flink's 6.56× unnesting speedup vs.
+//!   Spark's 1.5× by "specifics in Flink's current handling of broadcast
+//!   variables"), *no in-memory cache* — cached results spill to simulated
+//!   HDFS (so caching barely helps iterative jobs, Section 5.2), and a
+//!   sort-based aggregation that degrades gracefully by spilling.
+
+/// Hardware description of the simulated cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSpec {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Cores per node; `nodes × cores` = default degree of parallelism.
+    pub cores_per_node: usize,
+    /// Usable memory per *worker slot* in bytes (drives group-materialization
+    /// pressure).
+    pub mem_per_worker: u64,
+    /// Aggregate disk bandwidth per node, bytes/s.
+    pub disk_bw: f64,
+    /// Network bandwidth per node, bytes/s.
+    pub net_bw: f64,
+    /// CPU cost per record per operator, seconds.
+    pub cpu_per_record: f64,
+    /// Cost of one *nested-loop* step (one comparison of a naive `exists`
+    /// scan), charged per (outer record × inner row) pair of *our* scaled
+    /// rows. Consistency note: with every dataset scaled 1/S in rows and
+    /// bandwidths scaled 1/S, linear CPU terms carry `c_real × S` and
+    /// quadratic terms must carry `c_real × S²` — both row counts stand for
+    /// S× as many simulated rows.
+    pub native_op_cost: f64,
+    /// Broadcast-join threshold: a build side smaller than this is shipped
+    /// to every node instead of shuffling both sides.
+    pub broadcast_threshold: u64,
+}
+
+impl ClusterSpec {
+    /// The paper's cluster, proportionally scaled so that the laptop-sized
+    /// synthetic datasets exercise the same regimes (memory pressure,
+    /// broadcast-vs-shuffle crossovers) as the original 100 GB runs.
+    ///
+    /// Scaling rule: data sizes in this reproduction are ~1/1000 of the
+    /// paper's, so per-worker memory and the broadcast threshold shrink by
+    /// the same factor while bandwidths keep realistic absolute values —
+    /// simulated times therefore land in the same order of magnitude as the
+    /// paper's reported seconds.
+    pub fn paper_scaled() -> Self {
+        ClusterSpec {
+            nodes: 40,
+            cores_per_node: 8,
+            // 16 GB/node ÷ 8 workers = 2 GB/worker, scaled by ~1/1000.
+            mem_per_worker: 2 * 1024 * 1024,
+            // 100 MB/s HDFS-ish and 10 GbE-class network per node, scaled
+            // to keep bytes/bandwidth ratios.
+            disk_bw: 100.0 * 1024.0 * 1024.0 / 1000.0,
+            net_bw: 400.0 * 1024.0 * 1024.0 / 1000.0,
+            cpu_per_record: 3e-7 * 1000.0,
+            // ~10 ns real per boxed-comparison inner-loop step (JVM),
+            // × S² = 10⁶ for the quadratic charge (see field docs).
+            native_op_cost: 1e-8 * 1_000_000.0,
+            broadcast_threshold: 32 * 1024,
+        }
+    }
+
+    /// A smaller cluster for unit tests (4 nodes × 2 cores).
+    pub fn tiny() -> Self {
+        ClusterSpec {
+            nodes: 4,
+            cores_per_node: 2,
+            mem_per_worker: 256 * 1024,
+            disk_bw: 100.0 * 1024.0,
+            net_bw: 120.0 * 1024.0,
+            cpu_per_record: 1e-6,
+            native_op_cost: 1e-9,
+            broadcast_threshold: 8 * 1024,
+        }
+    }
+
+    /// Degree of parallelism: one worker slot per core.
+    pub fn dop(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Overrides the node count, keeping per-node characteristics
+    /// (used by the Fig. 5 DOP sweep).
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Overrides per-worker memory — experiments whose datasets are scaled
+    /// further down than the nominal 1/1000 scale memory by the same factor
+    /// to preserve the paper's data-to-memory ratios (see EXPERIMENTS.md).
+    pub fn with_mem_per_worker(mut self, bytes: u64) -> Self {
+        self.mem_per_worker = bytes;
+        self
+    }
+}
+
+/// Behavioral profile of a runtime engine.
+#[derive(Clone, Debug)]
+pub struct Personality {
+    /// Display name.
+    pub name: &'static str,
+    /// Whether cached results live in memory (Spark) or on HDFS (Flink 0.8).
+    pub in_memory_cache: bool,
+    /// Native iteration support: per-iteration driver overhead in seconds.
+    pub iteration_overhead: f64,
+    /// Per-stage scheduling overhead in seconds (job launch, task dispatch).
+    pub stage_overhead: f64,
+    /// Multiplier on broadcast-variable shipping cost
+    /// (Flink v0.8 re-ships per task ⇒ large factor).
+    pub broadcast_factor: f64,
+    /// Exponent of the memory-pressure penalty when a reducer materializes
+    /// groups beyond its memory: `time ×= (bytes/mem)^exponent`.
+    pub group_pressure_exponent: f64,
+    /// Multiplier on spill I/O when aggregation state exceeds memory.
+    pub spill_penalty: f64,
+    /// Extra multiplier once a reducer's materialized state exceeds ~2× its
+    /// memory: a hash-based aggregation (Spark 1.x) collapses into GC
+    /// thrash / OOM-restarts, while a sort-based one (Flink) keeps spilling
+    /// gracefully.
+    pub hash_agg_collapse: f64,
+    /// Per-shuffle-file seek cost, charged as `partitions² × seek / nodes`
+    /// for shuffles moving more than [`SHUFFLE_FILE_CUTOFF`] bytes — Spark
+    /// 1.x's M×R shuffle files are the source of its superlinear scaling in
+    /// the DOP (Fig. 5).
+    pub shuffle_seek: f64,
+    /// I/O passes over the full input that materializing *groups* costs
+    /// (sort-merge runs on Flink, hash spill files on Spark). This is the
+    /// first-order reason un-fused `groupBy`s lose to `aggBy` even without
+    /// skew: the whole dataset is written and re-read instead of shrinking
+    /// to one accumulator per key at the mappers.
+    pub group_materialize_passes: f64,
+}
+
+/// Shuffles below this volume buffer in memory and pay no per-file seeks.
+pub const SHUFFLE_FILE_CUTOFF: u64 = 1024 * 1024;
+
+impl Personality {
+    /// Spark-like profile.
+    pub fn sparrow() -> Self {
+        Personality {
+            name: "sparrow",
+            in_memory_cache: true,
+            iteration_overhead: 0.2,
+            stage_overhead: 0.15,
+            // Torrent broadcast: several link-times' worth per node
+            // (chunk re-serving on a shared network).
+            broadcast_factor: 8.0,
+            // Reduce-side hash aggregation degrades sharply past memory.
+            group_pressure_exponent: 2.0,
+            spill_penalty: 3.0,
+            hash_agg_collapse: 25.0,
+            shuffle_seek: 1e-3,
+            group_materialize_passes: 2.0,
+        }
+    }
+
+    /// Flink-v0.8-like profile.
+    pub fn flamingo() -> Self {
+        Personality {
+            name: "flamingo",
+            in_memory_cache: false,
+            iteration_overhead: 0.02,
+            stage_overhead: 0.05,
+            // Flink v0.8 re-ships broadcast variables per task slot and per
+            // consuming operator (8 slots × several operators).
+            broadcast_factor: 70.0,
+            // Sort-based aggregation degrades gracefully by spilling.
+            group_pressure_exponent: 0.4,
+            spill_penalty: 2.0,
+            hash_agg_collapse: 1.0,
+            shuffle_seek: 1e-4,
+            group_materialize_passes: 3.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_shape() {
+        let c = ClusterSpec::paper_scaled();
+        assert_eq!(c.nodes, 40);
+        assert_eq!(c.dop(), 320);
+    }
+
+    #[test]
+    fn personalities_differ_where_the_paper_says() {
+        let s = Personality::sparrow();
+        let f = Personality::flamingo();
+        assert!(s.in_memory_cache && !f.in_memory_cache);
+        assert!(f.broadcast_factor > s.broadcast_factor);
+        assert!(s.group_pressure_exponent > f.group_pressure_exponent);
+        assert!(s.iteration_overhead > f.iteration_overhead);
+    }
+
+    #[test]
+    fn with_nodes_scales_dop() {
+        let c = ClusterSpec::paper_scaled().with_nodes(10);
+        assert_eq!(c.dop(), 80);
+    }
+}

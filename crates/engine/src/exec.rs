@@ -1,0 +1,1656 @@
+//! The driver/dataflow executor.
+//!
+//! Executes a [`CompiledProgram`] against a [`Catalog`]: driver statements
+//! run sequentially; bag bindings become lazy, memoizing **thunks** (paper,
+//! Section 4.3.2); dataflow plans execute stage by stage over
+//! [`Partitioned`] collections, *really producing rows* while a deterministic
+//! cost model charges simulated time for every cluster-level effect
+//! (storage reads, shuffles with skew, broadcasts, group materialization
+//! memory pressure, cache writes/reads).
+//!
+//! Physical decisions that the paper defers to just-in-time dataflow
+//! generation — notably broadcast vs. repartition joins — are resolved here,
+//! when actual input sizes are known.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use emma_compiler::bag_expr::BagExpr;
+use emma_compiler::expr::{FoldOp, Lambda, ScalarExpr};
+use emma_compiler::interp::{self, Catalog, Env};
+use emma_compiler::pipeline::{AuxDef, CRValue, CStmt, CompiledProgram};
+use emma_compiler::plan::{JoinKind, JoinStrategy, Plan};
+use emma_compiler::value::{Value, ValueError};
+
+use crate::cluster::{ClusterSpec, Personality};
+use crate::dataset::{value_hash, Partitioned, Partitioning};
+use crate::metrics::{ExecError, ExecStats};
+
+/// A lazily forced, optionally memoized dataflow binding — the paper's
+/// `Thunk[A]` (Fig. 3b, "Driver to Dataflows").
+struct Thunk {
+    /// The plan, with any top-level `Cache` marker stripped into
+    /// `cache_enabled`.
+    plan: Arc<Plan>,
+    /// Environment snapshot at definition time.
+    env: EnvSnapshot,
+    /// Whether the result is materialized on first force.
+    cache_enabled: bool,
+    /// The memoized result (only used when `cache_enabled`).
+    memo: Mutex<Option<Partitioned>>,
+}
+
+/// Keyed state held in place on the cluster: hash-partitioned by the element
+/// key, updated point-wise, never re-shuffled — the paper's observation that
+/// PageRank "stores the vertices and their ranks already partitioned by the
+/// vertex ID in-memory in a form that is ready to be consumed by the next
+/// iteration".
+struct EngineState {
+    key: Lambda,
+    /// Per-partition keyed entries plus first-insertion order.
+    parts: Vec<(Vec<Value>, HashMap<Value, Value>)>,
+}
+
+impl EngineState {
+    fn snapshot(&self, key: &Lambda) -> Partitioned {
+        let parts: Vec<Arc<Vec<Value>>> = self
+            .parts
+            .iter()
+            .map(|(order, entries)| {
+                Arc::new(order.iter().map(|k| entries[k].clone()).collect::<Vec<_>>())
+            })
+            .collect();
+        let n = parts.len();
+        Partitioned {
+            parts,
+            partitioning: Some(Partitioning {
+                key: key.clone(),
+                parts: n,
+            }),
+        }
+    }
+}
+
+/// A driver binding: scalar value, bag thunk, or stateful bag.
+#[derive(Clone)]
+enum Binding {
+    Scalar(Value),
+    Bag(Arc<Thunk>),
+    Stateful(Arc<Mutex<EngineState>>),
+}
+
+type EnvSnapshot = Arc<HashMap<String, Binding>>;
+
+/// A configured runtime engine (cluster + personality).
+#[derive(Clone, Debug)]
+pub struct Engine {
+    /// Simulated hardware.
+    pub spec: ClusterSpec,
+    /// Behavioral profile (Sparrow = Spark-like, Flamingo = Flink-like).
+    pub personality: Personality,
+    /// Simulated-time budget; `None` = unlimited.
+    pub timeout_secs: Option<f64>,
+    /// Driver loop-iteration safety cap.
+    pub max_loop_iters: usize,
+}
+
+impl Engine {
+    /// Creates an engine.
+    pub fn new(spec: ClusterSpec, personality: Personality) -> Self {
+        Engine {
+            spec,
+            personality,
+            timeout_secs: None,
+            max_loop_iters: 100_000,
+        }
+    }
+
+    /// The Spark-like engine on the paper-scaled cluster.
+    pub fn sparrow() -> Self {
+        Self::new(ClusterSpec::paper_scaled(), Personality::sparrow())
+    }
+
+    /// The Flink-like engine on the paper-scaled cluster.
+    pub fn flamingo() -> Self {
+        Self::new(ClusterSpec::paper_scaled(), Personality::flamingo())
+    }
+
+    /// Sets a simulated-time budget (the paper uses a one-hour timeout).
+    pub fn with_timeout(mut self, secs: f64) -> Self {
+        self.timeout_secs = Some(secs);
+        self
+    }
+
+    /// Runs a compiled program to completion.
+    ///
+    /// Execution happens on a dedicated thread with a large stack: deep
+    /// lazy-lineage chains (an uncached iterative program re-forces the
+    /// previous iteration's thunk from inside the current plan) recurse
+    /// proportionally to the iteration count.
+    pub fn run(&self, prog: &CompiledProgram, catalog: &Catalog) -> Result<EngineRun, ExecError> {
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("emma-engine".into())
+                .stack_size(256 * 1024 * 1024)
+                .spawn_scoped(scope, || self.run_on_current_thread(prog, catalog))
+                .expect("spawn engine thread")
+                .join()
+                .expect("engine thread panicked")
+        })
+    }
+
+    fn run_on_current_thread(
+        &self,
+        prog: &CompiledProgram,
+        catalog: &Catalog,
+    ) -> Result<EngineRun, ExecError> {
+        let mut session = Session {
+            engine: self,
+            catalog,
+            env: HashMap::new(),
+            stats: ExecStats::default(),
+            writes: HashMap::new(),
+            children_inclusive: 0.0,
+        };
+        session.exec_stmts(&prog.body)?;
+        let mut scalars = HashMap::new();
+        for (k, b) in &session.env {
+            if let Binding::Scalar(v) = b {
+                scalars.insert(k.clone(), v.clone());
+            }
+        }
+        Ok(EngineRun {
+            writes: session.writes,
+            scalars,
+            stats: session.stats,
+        })
+    }
+}
+
+/// The observable outcome of a run.
+#[derive(Clone, Debug)]
+pub struct EngineRun {
+    /// Bags materialized to sinks.
+    pub writes: HashMap<String, Vec<Value>>,
+    /// Final scalar driver bindings.
+    pub scalars: HashMap<String, Value>,
+    /// Cost-model accounting.
+    pub stats: ExecStats,
+}
+
+enum PlanResult {
+    Bag(Partitioned),
+    Scalar(Value),
+}
+
+struct Session<'a> {
+    engine: &'a Engine,
+    catalog: &'a Catalog,
+    env: HashMap<String, Binding>,
+    stats: ExecStats,
+    writes: HashMap<String, Vec<Value>>,
+    /// Inclusive simulated time of already-finished child plan nodes within
+    /// the currently executing node's frame (drives the exclusive per-op
+    /// attribution in `stats.op_secs`).
+    children_inclusive: f64,
+}
+
+impl<'a> Session<'a> {
+    fn spec(&self) -> &ClusterSpec {
+        &self.engine.spec
+    }
+
+    fn personality(&self) -> &Personality {
+        &self.engine.personality
+    }
+
+    fn dop(&self) -> usize {
+        self.spec().dop()
+    }
+
+    fn check_budget(&self) -> Result<(), ExecError> {
+        if let Some(budget) = self.engine.timeout_secs {
+            if self.stats.simulated_secs > budget {
+                return Err(ExecError::Timeout {
+                    at_secs: self.stats.simulated_secs,
+                    budget_secs: budget,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> EnvSnapshot {
+        Arc::new(self.env.clone())
+    }
+
+    // ------------------------------------------------------------ statements
+
+    fn exec_stmts(&mut self, stmts: &[CStmt]) -> Result<(), ExecError> {
+        for s in stmts {
+            self.exec_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, s: &CStmt) -> Result<(), ExecError> {
+        match s {
+            CStmt::Bind { name, value, kind } => {
+                let _ = kind;
+                match value {
+                    CRValue::Bag(plan) => {
+                        let (inner, cached) = strip_cache(plan);
+                        let thunk = Thunk {
+                            plan: Arc::new(inner),
+                            env: self.snapshot(),
+                            cache_enabled: cached,
+                            memo: Mutex::new(None),
+                        };
+                        self.env.insert(name.clone(), Binding::Bag(Arc::new(thunk)));
+                    }
+                    CRValue::Scalar { pre, expr } => {
+                        self.exec_aux(pre)?;
+                        let v = self.eval_driver_scalar(expr)?;
+                        self.env.insert(name.clone(), Binding::Scalar(v));
+                    }
+                }
+                Ok(())
+            }
+            CStmt::While { pre, cond, body } => {
+                let mut iters = 0usize;
+                loop {
+                    self.exec_aux(pre)?;
+                    if !self
+                        .eval_driver_scalar(cond)?
+                        .as_bool()
+                        .map_err(ExecError::Eval)?
+                    {
+                        return Ok(());
+                    }
+                    iters += 1;
+                    if iters > self.engine.max_loop_iters {
+                        return Err(ExecError::LoopCap(self.engine.max_loop_iters));
+                    }
+                    self.stats.iterations += 1;
+                    self.stats
+                        .charge_secs(self.personality().iteration_overhead);
+                    self.exec_stmts(body)?;
+                    self.check_budget()?;
+                }
+            }
+            CStmt::ForEach {
+                var,
+                pre,
+                seq,
+                body,
+            } => {
+                self.exec_aux(pre)?;
+                let seq_v = self.eval_driver_scalar(seq)?;
+                let items = seq_v.as_bag().map_err(ExecError::Eval)?.to_vec();
+                for item in items {
+                    self.env.insert(var.clone(), Binding::Scalar(item));
+                    self.stats.iterations += 1;
+                    self.stats
+                        .charge_secs(self.personality().iteration_overhead);
+                    self.exec_stmts(body)?;
+                    self.check_budget()?;
+                }
+                Ok(())
+            }
+            CStmt::If {
+                pre,
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.exec_aux(pre)?;
+                if self
+                    .eval_driver_scalar(cond)?
+                    .as_bool()
+                    .map_err(ExecError::Eval)?
+                {
+                    self.exec_stmts(then_branch)
+                } else {
+                    self.exec_stmts(else_branch)
+                }
+            }
+            CStmt::StatefulCreate { name, plan, key } => {
+                let env = self.snapshot();
+                let d = self.exec_bag(plan, &env)?;
+                let shuffled = self.shuffle(d, key, &env)?;
+                let base = self.eval_base_for_lambdas(&[key], &env)?;
+                let mut ev = Env::new(&base);
+                let mut parts = Vec::with_capacity(shuffled.parts.len());
+                for part in &shuffled.parts {
+                    let mut order: Vec<Value> = Vec::new();
+                    let mut entries: HashMap<Value, Value> = HashMap::new();
+                    for row in part.iter() {
+                        let k = interp::eval_lambda(
+                            key,
+                            std::slice::from_ref(row),
+                            &mut ev,
+                            self.catalog,
+                        )
+                        .map_err(ExecError::Eval)?;
+                        if entries.insert(k.clone(), row.clone()).is_none() {
+                            order.push(k);
+                        }
+                    }
+                    parts.push((order, entries));
+                }
+                self.env.insert(
+                    name.clone(),
+                    Binding::Stateful(Arc::new(Mutex::new(EngineState {
+                        key: key.clone(),
+                        parts,
+                    }))),
+                );
+                self.check_budget()
+            }
+            CStmt::StatefulUpdate {
+                state,
+                delta,
+                messages,
+                message_key,
+                update,
+            } => {
+                let env = self.snapshot();
+                let msgs = self.exec_bag(messages, &env)?;
+                // Route messages to their state elements: a shuffle on the
+                // message key, colocated with the state partitioning.
+                let routed = self.shuffle(msgs, message_key, &env)?;
+                let state_binding =
+                    self.env.get(state).cloned().ok_or_else(|| {
+                        ExecError::Eval(ValueError::UnboundVariable(state.clone()))
+                    })?;
+                let Binding::Stateful(cell) = state_binding else {
+                    return Err(ExecError::Eval(ValueError::Unknown(format!(
+                        "`{state}` is not a stateful bag"
+                    ))));
+                };
+                let base = self.eval_base_for_lambdas(&[message_key, update], &env)?;
+                let mut ev = Env::new(&base);
+                let mut st = cell.lock();
+                let nparts = st.parts.len().max(1);
+                let mut delta_parts: Vec<Vec<Value>> = vec![Vec::new(); nparts];
+                let mut processed = 0u64;
+                for (pi, part) in routed.parts.iter().enumerate() {
+                    let slot = pi % nparts;
+                    let mut changed_keys: Vec<Value> = Vec::new();
+                    let mut changed: HashMap<Value, Value> = HashMap::new();
+                    for msg in part.iter() {
+                        processed += 1;
+                        let k = interp::eval_lambda(
+                            message_key,
+                            std::slice::from_ref(msg),
+                            &mut ev,
+                            self.catalog,
+                        )
+                        .map_err(ExecError::Eval)?;
+                        // State was hash-partitioned by key with the same
+                        // partition count, so the entry (if any) is local.
+                        let Some(current) = st.parts[slot].1.get(&k) else {
+                            continue;
+                        };
+                        let new = interp::eval_lambda(
+                            update,
+                            &[current.clone(), msg.clone()],
+                            &mut ev,
+                            self.catalog,
+                        )
+                        .map_err(ExecError::Eval)?;
+                        if !new.is_null() {
+                            st.parts[slot].1.insert(k.clone(), new.clone());
+                            if changed.insert(k.clone(), new).is_none() {
+                                changed_keys.push(k);
+                            }
+                        }
+                    }
+                    for k in changed_keys {
+                        delta_parts[slot].push(changed.remove(&k).expect("recorded key"));
+                    }
+                }
+                let key = st.key.clone();
+                drop(st);
+                self.charge_cpu(processed, processed / self.dop().max(1) as u64);
+                let delta_data = Partitioned {
+                    parts: delta_parts.into_iter().map(Arc::new).collect(),
+                    partitioning: Some(Partitioning { key, parts: nparts }),
+                };
+                // Bind the delta as an already-materialized bag.
+                let thunk = Thunk {
+                    plan: Arc::new(Plan::Literal { rows: vec![] }),
+                    env: self.snapshot(),
+                    cache_enabled: true,
+                    memo: Mutex::new(Some(delta_data)),
+                };
+                self.env
+                    .insert(delta.clone(), Binding::Bag(Arc::new(thunk)));
+                self.check_budget()
+            }
+            CStmt::Write { sink, plan } => {
+                let env = self.snapshot();
+                let d = self.exec_bag(plan, &env)?;
+                let bytes = d.total_bytes();
+                // Parallel write to the storage layer.
+                self.stats.bytes_written_storage += bytes;
+                self.stats
+                    .charge_secs(bytes as f64 / (self.spec().disk_bw * self.spec().nodes as f64));
+                self.writes.insert(sink.clone(), d.collect_rows());
+                self.check_budget()
+            }
+        }
+    }
+
+    /// Forces the auxiliary dataflows feeding a driver scalar expression.
+    fn exec_aux(&mut self, pre: &[AuxDef]) -> Result<(), ExecError> {
+        for aux in pre {
+            let env = self.snapshot();
+            let v = match self.exec_plan(&aux.plan, &env)? {
+                PlanResult::Scalar(v) => v,
+                PlanResult::Bag(d) => {
+                    // `collect` data motion: cluster → driver.
+                    let bytes = d.total_bytes();
+                    self.stats.charge_secs(bytes as f64 / self.spec().net_bw);
+                    Value::bag(d.collect_rows())
+                }
+            };
+            self.env.insert(aux.name.clone(), Binding::Scalar(v));
+        }
+        Ok(())
+    }
+
+    /// Evaluates a residual driver expression (no folds remain after
+    /// extraction; only scalar bindings are consulted).
+    fn eval_driver_scalar(&mut self, e: &ScalarExpr) -> Result<Value, ExecError> {
+        let base = self.scalar_view();
+        let mut env = Env::new(&base);
+        interp::eval_scalar(e, &mut env, self.catalog).map_err(ExecError::Eval)
+    }
+
+    fn scalar_view(&self) -> HashMap<String, Value> {
+        self.env
+            .iter()
+            .filter_map(|(k, b)| match b {
+                Binding::Scalar(v) => Some((k.clone(), v.clone())),
+                Binding::Bag(_) | Binding::Stateful(_) => None,
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------- dataflow
+
+    fn exec_bag(&mut self, plan: &Plan, env: &EnvSnapshot) -> Result<Partitioned, ExecError> {
+        match self.exec_plan(plan, env)? {
+            PlanResult::Bag(d) => Ok(d),
+            PlanResult::Scalar(v) => Err(ExecError::Eval(ValueError::type_mismatch("Bag", &v))),
+        }
+    }
+
+    /// Executes a plan node, attributing its *exclusive* simulated time to
+    /// its operator kind (children — including thunk forcings — are measured
+    /// through their own `exec_plan` frames and subtracted).
+    fn exec_plan(&mut self, plan: &Plan, env: &EnvSnapshot) -> Result<PlanResult, ExecError> {
+        let before = self.stats.simulated_secs;
+        let saved_children = std::mem::replace(&mut self.children_inclusive, 0.0);
+        let result = self.exec_plan_inner(plan, env);
+        let inclusive = self.stats.simulated_secs - before;
+        let exclusive = (inclusive - self.children_inclusive).max(0.0);
+        *self.stats.op_secs.entry(plan.op_name()).or_insert(0.0) += exclusive;
+        self.children_inclusive = saved_children + inclusive;
+        result
+    }
+
+    fn exec_plan_inner(
+        &mut self,
+        plan: &Plan,
+        env: &EnvSnapshot,
+    ) -> Result<PlanResult, ExecError> {
+        self.check_budget()?;
+        let spec = *self.spec();
+        match plan {
+            Plan::Source { name } => {
+                let rows = self.catalog.get(name).map_err(ExecError::Eval)?.clone();
+                let d = Partitioned::from_rows(rows, self.dop());
+                let bytes = d.total_bytes();
+                self.stats.bytes_read_storage += bytes;
+                self.stats.stages += 1;
+                self.stats.charge_secs(
+                    self.personality().stage_overhead
+                        + bytes as f64 / (spec.disk_bw * spec.nodes as f64),
+                );
+                self.charge_cpu(d.total_rows(), d.max_part_rows());
+                Ok(PlanResult::Bag(d))
+            }
+            Plan::Literal { rows } => {
+                let d = Partitioned::from_rows(rows.clone(), self.dop());
+                // Driver → cluster shipping.
+                self.stats.charge_secs(d.total_bytes() as f64 / spec.net_bw);
+                Ok(PlanResult::Bag(d))
+            }
+            Plan::OfScalar { expr } => {
+                let base = self.eval_base_for_exprs(&[expr], env)?;
+                let mut ev = Env::new(&base);
+                let v =
+                    interp::eval_scalar(expr, &mut ev, self.catalog).map_err(ExecError::Eval)?;
+                let rows = v.as_bag().map_err(ExecError::Eval)?.to_vec();
+                let d = Partitioned::from_rows(rows, self.dop());
+                self.stats.charge_secs(d.total_bytes() as f64 / spec.net_bw);
+                Ok(PlanResult::Bag(d))
+            }
+            Plan::RefBag { name } => {
+                let binding = env
+                    .get(name)
+                    .or_else(|| self.env.get(name))
+                    .cloned()
+                    .ok_or_else(|| ExecError::Eval(ValueError::UnboundVariable(name.clone())))?;
+                match binding {
+                    Binding::Bag(thunk) => Ok(PlanResult::Bag(self.force(&thunk)?)),
+                    Binding::Stateful(state) => {
+                        // In-memory, already partitioned by key: a snapshot
+                        // read costs memory-speed I/O only.
+                        let st = state.lock();
+                        let snap = st.snapshot(&st.key);
+                        self.stats.charge_secs(
+                            snap.total_bytes() as f64
+                                / (self.spec().disk_bw * self.spec().nodes as f64 * 10.0),
+                        );
+                        Ok(PlanResult::Bag(snap))
+                    }
+                    Binding::Scalar(v) => {
+                        let rows = v.as_bag().map_err(ExecError::Eval)?.to_vec();
+                        Ok(PlanResult::Bag(Partitioned::from_rows(rows, self.dop())))
+                    }
+                }
+            }
+            Plan::Map { input, f } => {
+                let d = self.exec_bag(input, env)?;
+                let base = self.eval_base_for_lambdas(&[f], env)?;
+                self.charge_broadcast_scans(&f.body, &base, d.max_part_rows())?;
+                let catalog = self.catalog;
+                let parts = run_partitions(&d.parts, |rows| {
+                    let mut ev = Env::new(&base);
+                    rows.iter()
+                        .map(|row| {
+                            interp::eval_lambda(f, std::slice::from_ref(row), &mut ev, catalog)
+                        })
+                        .collect()
+                })
+                .map_err(ExecError::Eval)?;
+                self.charge_cpu_weighted(d.total_rows(), d.max_part_rows(), f.static_cost());
+                // Folds over *materialized group values* re-scan their data;
+                // folds over small per-record bags (e.g. a vertex's neighbor
+                // list carried through a join) do not — the charge applies
+                // only when this map consumes a grouping operator's output.
+                if consumes_grouped_rows(input) {
+                    self.charge_nested_bag_folds(count_nested_bag_folds(&f.body), &d);
+                }
+                Ok(PlanResult::Bag(Partitioned {
+                    parts,
+                    partitioning: None,
+                }))
+            }
+            Plan::Filter { input, p } => {
+                let d = self.exec_bag(input, env)?;
+                let base = self.eval_base_for_lambdas(&[p], env)?;
+                self.charge_broadcast_scans(&p.body, &base, d.max_part_rows())?;
+                let catalog = self.catalog;
+                let parts = run_partitions(&d.parts, |rows| {
+                    let mut ev = Env::new(&base);
+                    let mut out = Vec::new();
+                    for row in rows {
+                        if interp::eval_lambda(p, std::slice::from_ref(row), &mut ev, catalog)?
+                            .as_bool()?
+                        {
+                            out.push(row.clone());
+                        }
+                    }
+                    Ok(out)
+                })
+                .map_err(ExecError::Eval)?;
+                self.charge_cpu_weighted(d.total_rows(), d.max_part_rows(), p.static_cost());
+                // Filters preserve the physical layout.
+                Ok(PlanResult::Bag(Partitioned {
+                    parts,
+                    partitioning: d.partitioning.clone(),
+                }))
+            }
+            Plan::FlatMap { input, param, body } => {
+                let d = self.exec_bag(input, env)?;
+                let base = self.eval_base_for_bag_exprs(&[body], env)?;
+                let mut produced = 0u64;
+                let mut parts = Vec::with_capacity(d.parts.len());
+                for part in &d.parts {
+                    let mut out = Vec::new();
+                    let mut ev = Env::new(&base);
+                    for row in part.iter() {
+                        let inner =
+                            eval_bag_with_binding(body, param, row.clone(), &mut ev, self.catalog)
+                                .map_err(ExecError::Eval)?;
+                        produced += inner.len() as u64;
+                        out.extend(inner);
+                    }
+                    parts.push(Arc::new(out));
+                }
+                let weight = body.static_cost();
+                self.charge_cpu_weighted(
+                    d.total_rows() + produced,
+                    d.max_part_rows() + produced / self.dop().max(1) as u64,
+                    weight,
+                );
+                Ok(PlanResult::Bag(Partitioned {
+                    parts,
+                    partitioning: None,
+                }))
+            }
+            Plan::Fold { input, fold } => {
+                let d = self.exec_bag(input, env)?;
+                let base = self.eval_base_for_fold(fold, env)?;
+                let mut ev = Env::new(&base);
+                let zero = interp::eval_scalar(&fold.zero, &mut ev, self.catalog)
+                    .map_err(ExecError::Eval)?;
+                // Fold each partition locally, ship partials, combine.
+                let mut partials = Vec::with_capacity(d.parts.len());
+                for part in &d.parts {
+                    let mut acc = zero.clone();
+                    for row in part.iter() {
+                        let s = interp::eval_lambda(
+                            &fold.sng,
+                            std::slice::from_ref(row),
+                            &mut ev,
+                            self.catalog,
+                        )
+                        .map_err(ExecError::Eval)?;
+                        acc = interp::eval_lambda(&fold.uni, &[acc, s], &mut ev, self.catalog)
+                            .map_err(ExecError::Eval)?;
+                    }
+                    partials.push(acc);
+                }
+                let partial_bytes: u64 = partials.iter().map(Value::approx_bytes).sum();
+                let mut acc = zero;
+                for p in partials {
+                    acc = interp::eval_lambda(&fold.uni, &[acc, p], &mut ev, self.catalog)
+                        .map_err(ExecError::Eval)?;
+                }
+                self.stats.stages += 1;
+                self.stats.charge_secs(
+                    self.personality().stage_overhead + partial_bytes as f64 / spec.net_bw,
+                );
+                self.charge_cpu_weighted(
+                    d.total_rows(),
+                    d.max_part_rows(),
+                    fold.sng.static_cost() + fold.uni.static_cost(),
+                );
+                Ok(PlanResult::Scalar(acc))
+            }
+            Plan::Join {
+                left,
+                right,
+                lkey,
+                rkey,
+                residual,
+                kind,
+                strategy,
+            } => self.exec_join(
+                left,
+                right,
+                lkey,
+                rkey,
+                residual.as_ref(),
+                *kind,
+                *strategy,
+                env,
+            ),
+            Plan::Cross { left, right } => {
+                let l = self.exec_bag(left, env)?;
+                let r = self.exec_bag(right, env)?;
+                // Broadcast the (smaller) right side and pair locally.
+                let r_rows = r.collect_rows();
+                self.charge_broadcast(r.total_bytes());
+                let mut parts = Vec::with_capacity(l.parts.len());
+                let mut produced = 0u64;
+                for part in &l.parts {
+                    let mut out = Vec::with_capacity(part.len() * r_rows.len());
+                    for lrow in part.iter() {
+                        for rrow in &r_rows {
+                            out.push(Value::tuple(vec![lrow.clone(), rrow.clone()]));
+                        }
+                    }
+                    produced += out.len() as u64;
+                    parts.push(Arc::new(out));
+                }
+                self.stats.stages += 1;
+                self.stats.charge_secs(self.personality().stage_overhead);
+                self.charge_cpu(produced, produced / self.dop().max(1) as u64);
+                Ok(PlanResult::Bag(Partitioned {
+                    parts,
+                    partitioning: None,
+                }))
+            }
+            Plan::GroupBy { input, key } => {
+                let d = self.exec_bag(input, env)?;
+                let shuffled = self.shuffle(d, key, env)?;
+                // Materialize groups per partition; charge memory pressure.
+                let base = self.eval_base_for_lambdas(&[key], env)?;
+                let mut parts = Vec::with_capacity(shuffled.parts.len());
+                for part in &shuffled.parts {
+                    let mut ev = Env::new(&base);
+                    let mut order: Vec<Value> = Vec::new();
+                    let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
+                    for row in part.iter() {
+                        let k = interp::eval_lambda(
+                            key,
+                            std::slice::from_ref(row),
+                            &mut ev,
+                            self.catalog,
+                        )
+                        .map_err(ExecError::Eval)?;
+                        let e = groups.entry(k.clone()).or_default();
+                        if e.is_empty() {
+                            order.push(k);
+                        }
+                        e.push(row.clone());
+                    }
+                    let rows: Vec<Value> = order
+                        .into_iter()
+                        .map(|k| {
+                            let vs = groups.remove(&k).unwrap_or_default();
+                            Value::tuple(vec![k, Value::bag(vs)])
+                        })
+                        .collect();
+                    parts.push(Arc::new(rows));
+                }
+                let out = Partitioned {
+                    parts,
+                    partitioning: Some(Partitioning {
+                        key: Lambda::new(["g"], ScalarExpr::var("g").get(0)),
+                        parts: shuffled.num_parts(),
+                    }),
+                };
+                self.charge_group_materialization(&shuffled);
+                self.charge_cpu(shuffled.total_rows(), shuffled.max_part_rows());
+                Ok(PlanResult::Bag(out))
+            }
+            Plan::AggBy { input, key, fold } => {
+                let d = self.exec_bag(input, env)?;
+                self.exec_agg_by(d, key, fold, env)
+            }
+            Plan::Plus { left, right } => {
+                let l = self.exec_bag(left, env)?;
+                let r = self.exec_bag(right, env)?;
+                let mut parts = l.parts;
+                parts.extend(r.parts);
+                Ok(PlanResult::Bag(Partitioned {
+                    parts,
+                    partitioning: None,
+                }))
+            }
+            Plan::Minus { left, right } => {
+                let identity = Lambda::new(["x"], ScalarExpr::var("x"));
+                let l = self.exec_bag(left, env)?;
+                let r = self.exec_bag(right, env)?;
+                let ls = self.shuffle(l, &identity, env)?;
+                let rs = self.shuffle(r, &identity, env)?;
+                let mut parts = Vec::with_capacity(ls.parts.len());
+                for (lp, rp) in ls.parts.iter().zip(rs.parts.iter()) {
+                    let mut budget: HashMap<&Value, usize> = HashMap::new();
+                    for v in rp.iter() {
+                        *budget.entry(v).or_insert(0) += 1;
+                    }
+                    let out: Vec<Value> = lp
+                        .iter()
+                        .filter(|v| match budget.get_mut(*v) {
+                            Some(n) if *n > 0 => {
+                                *n -= 1;
+                                false
+                            }
+                            _ => true,
+                        })
+                        .cloned()
+                        .collect();
+                    parts.push(Arc::new(out));
+                }
+                self.stats.stages += 1;
+                self.stats.charge_secs(self.personality().stage_overhead);
+                self.charge_cpu(ls.total_rows() + rs.total_rows(), ls.max_part_rows());
+                Ok(PlanResult::Bag(Partitioned {
+                    parts,
+                    partitioning: None,
+                }))
+            }
+            Plan::Distinct { input } => {
+                let identity = Lambda::new(["x"], ScalarExpr::var("x"));
+                let d = self.exec_bag(input, env)?;
+                let s = self.shuffle(d, &identity, env)?;
+                let mut parts = Vec::with_capacity(s.parts.len());
+                for part in &s.parts {
+                    let mut seen = std::collections::HashSet::new();
+                    let out: Vec<Value> = part
+                        .iter()
+                        .filter(|v| seen.insert((*v).clone()))
+                        .cloned()
+                        .collect();
+                    parts.push(Arc::new(out));
+                }
+                self.stats.stages += 1;
+                self.stats.charge_secs(self.personality().stage_overhead);
+                self.charge_cpu(s.total_rows(), s.max_part_rows());
+                Ok(PlanResult::Bag(Partitioned {
+                    parts,
+                    partitioning: None,
+                }))
+            }
+            Plan::Repartition { input, key } => {
+                let d = self.exec_bag(input, env)?;
+                let s = self.shuffle(d, key, env)?;
+                Ok(PlanResult::Bag(s))
+            }
+            Plan::Cache { input } => {
+                // Cache markers are normally stripped into the binding thunk;
+                // an inline one is transparent for correctness.
+                self.exec_plan(input, env)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_join(
+        &mut self,
+        left: &Plan,
+        right: &Plan,
+        lkey: &Lambda,
+        rkey: &Lambda,
+        residual: Option<&Lambda>,
+        kind: JoinKind,
+        strategy: JoinStrategy,
+        env: &EnvSnapshot,
+    ) -> Result<PlanResult, ExecError> {
+        let l = self.exec_bag(left, env)?;
+        let r = self.exec_bag(right, env)?;
+        let mut lams: Vec<&Lambda> = vec![lkey, rkey];
+        if let Some(res) = residual {
+            lams.push(res);
+        }
+        let base = self.eval_base_for_lambdas(&lams, env)?;
+
+        // Just-in-time strategy resolution from actual input sizes.
+        let strategy = match strategy {
+            JoinStrategy::Auto => {
+                if r.total_bytes() <= self.spec().broadcast_threshold {
+                    JoinStrategy::Broadcast
+                } else {
+                    JoinStrategy::Repartition
+                }
+            }
+            s => s,
+        };
+
+        self.stats.stages += 1;
+        self.stats.charge_secs(self.personality().stage_overhead);
+
+        let (lwork, rrows_by_part): (Partitioned, Vec<Vec<Value>>) = match strategy {
+            JoinStrategy::Broadcast => {
+                // Ship the entire right side to every node; left stays put.
+                self.stats
+                    .charge_secs(r.total_bytes() as f64 / self.spec().net_bw);
+                self.charge_broadcast(r.total_bytes());
+                let rows = r.collect_rows();
+                let n = l.parts.len();
+                (l, vec![rows; n])
+            }
+            JoinStrategy::Repartition | JoinStrategy::Auto => {
+                let ls = self.shuffle(l, lkey, env)?;
+                let rs = self.shuffle(r, rkey, env)?;
+                let rparts: Vec<Vec<Value>> = rs.parts.iter().map(|p| p.as_ref().clone()).collect();
+                (ls, rparts)
+            }
+        };
+
+        // Build hash tables on the right, probe with the left.
+        let mut parts = Vec::with_capacity(lwork.parts.len());
+        let mut produced = 0u64;
+        let mut ev = Env::new(&base);
+        for (pi, lpart) in lwork.parts.iter().enumerate() {
+            let rrows = &rrows_by_part[pi.min(rrows_by_part.len() - 1)];
+            let mut table: HashMap<Value, Vec<&Value>> = HashMap::new();
+            for rrow in rrows {
+                let k =
+                    interp::eval_lambda(rkey, std::slice::from_ref(rrow), &mut ev, self.catalog)
+                        .map_err(ExecError::Eval)?;
+                table.entry(k).or_default().push(rrow);
+            }
+            let mut out = Vec::new();
+            for lrow in lpart.iter() {
+                let k =
+                    interp::eval_lambda(lkey, std::slice::from_ref(lrow), &mut ev, self.catalog)
+                        .map_err(ExecError::Eval)?;
+                let matches = table.get(&k).map(Vec::as_slice).unwrap_or(&[]);
+                let mut any = false;
+                for rrow in matches {
+                    let pass = match residual {
+                        Some(res) => interp::eval_lambda(
+                            res,
+                            &[lrow.clone(), (*rrow).clone()],
+                            &mut ev,
+                            self.catalog,
+                        )
+                        .map_err(ExecError::Eval)?
+                        .as_bool()
+                        .map_err(ExecError::Eval)?,
+                        None => true,
+                    };
+                    if pass {
+                        any = true;
+                        if kind == JoinKind::Inner {
+                            out.push(Value::tuple(vec![lrow.clone(), (*rrow).clone()]));
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                match kind {
+                    JoinKind::Inner => {}
+                    JoinKind::LeftSemi => {
+                        if any {
+                            out.push(lrow.clone());
+                        }
+                    }
+                    JoinKind::LeftAnti => {
+                        if !any {
+                            out.push(lrow.clone());
+                        }
+                    }
+                }
+            }
+            produced += out.len() as u64;
+            parts.push(Arc::new(out));
+        }
+        self.charge_cpu(
+            lwork.total_rows() + produced,
+            lwork.max_part_rows() + produced / self.dop().max(1) as u64,
+        );
+        // Semi/anti joins preserve the left layout under repartition.
+        let partitioning = match (kind, strategy) {
+            (JoinKind::LeftSemi | JoinKind::LeftAnti, JoinStrategy::Repartition) => {
+                Some(Partitioning {
+                    key: lkey.clone(),
+                    parts: parts.len(),
+                })
+            }
+            (JoinKind::LeftSemi | JoinKind::LeftAnti, _) => lwork.partitioning.clone(),
+            _ => None,
+        };
+        Ok(PlanResult::Bag(Partitioned {
+            parts,
+            partitioning,
+        }))
+    }
+
+    fn exec_agg_by(
+        &mut self,
+        d: Partitioned,
+        key: &Lambda,
+        fold: &FoldOp,
+        env: &EnvSnapshot,
+    ) -> Result<PlanResult, ExecError> {
+        let base = self.eval_base_for_fold(fold, env)?;
+        let base2 = self.eval_base_for_lambdas(&[key], env)?;
+        let mut ev = Env::new(&base);
+        let mut evk = Env::new(&base2);
+        let zero =
+            interp::eval_scalar(&fold.zero, &mut ev, self.catalog).map_err(ExecError::Eval)?;
+
+        // Combiner phase: per-partition partial aggregation.
+        let mut partials: Vec<Value> = Vec::new();
+        for part in &d.parts {
+            let mut order: Vec<Value> = Vec::new();
+            let mut accs: HashMap<Value, Value> = HashMap::new();
+            for row in part.iter() {
+                let k = interp::eval_lambda(key, std::slice::from_ref(row), &mut evk, self.catalog)
+                    .map_err(ExecError::Eval)?;
+                let s = interp::eval_lambda(
+                    &fold.sng,
+                    std::slice::from_ref(row),
+                    &mut ev,
+                    self.catalog,
+                )
+                .map_err(ExecError::Eval)?;
+                match accs.get_mut(&k) {
+                    Some(acc) => {
+                        let merged = interp::eval_lambda(
+                            &fold.uni,
+                            &[acc.clone(), s],
+                            &mut ev,
+                            self.catalog,
+                        )
+                        .map_err(ExecError::Eval)?;
+                        *acc = merged;
+                    }
+                    None => {
+                        let first = interp::eval_lambda(
+                            &fold.uni,
+                            &[zero.clone(), s],
+                            &mut ev,
+                            self.catalog,
+                        )
+                        .map_err(ExecError::Eval)?;
+                        order.push(k.clone());
+                        accs.insert(k, first);
+                    }
+                }
+            }
+            for k in order {
+                let acc = accs.remove(&k).expect("recorded key");
+                partials.push(Value::tuple(vec![k, acc]));
+            }
+        }
+        self.charge_cpu_weighted(
+            d.total_rows(),
+            d.max_part_rows(),
+            key.static_cost() + fold.sng.static_cost() + fold.uni.static_cost(),
+        );
+
+        // Shuffle only the partial aggregates (one per key per partition).
+        let partial_set = Partitioned::from_rows(partials, d.parts.len().max(1));
+        let key0 = Lambda::new(["t"], ScalarExpr::var("t").get(0));
+        let shuffled = self.shuffle(partial_set, &key0, env)?;
+
+        // Merge phase.
+        let mut parts = Vec::with_capacity(shuffled.parts.len());
+        for part in &shuffled.parts {
+            let mut order: Vec<Value> = Vec::new();
+            let mut accs: HashMap<Value, Value> = HashMap::new();
+            for row in part.iter() {
+                let k = row.field(0).map_err(ExecError::Eval)?.clone();
+                let a = row.field(1).map_err(ExecError::Eval)?.clone();
+                match accs.get_mut(&k) {
+                    Some(acc) => {
+                        let merged = interp::eval_lambda(
+                            &fold.uni,
+                            &[acc.clone(), a],
+                            &mut ev,
+                            self.catalog,
+                        )
+                        .map_err(ExecError::Eval)?;
+                        *acc = merged;
+                    }
+                    None => {
+                        order.push(k.clone());
+                        accs.insert(k, a);
+                    }
+                }
+            }
+            let rows: Vec<Value> = order
+                .into_iter()
+                .map(|k| {
+                    let acc = accs.remove(&k).expect("recorded key");
+                    Value::tuple(vec![k, acc])
+                })
+                .collect();
+            parts.push(Arc::new(rows));
+        }
+        self.charge_cpu(shuffled.total_rows(), shuffled.max_part_rows());
+        self.stats.stages += 1;
+        self.stats.charge_secs(self.personality().stage_overhead);
+        Ok(PlanResult::Bag(Partitioned {
+            parts,
+            partitioning: Some(Partitioning {
+                key: Lambda::new(["g"], ScalarExpr::var("g").get(0)),
+                parts: shuffled.num_parts(),
+            }),
+        }))
+    }
+
+    // ---------------------------------------------------------- cost model
+
+    /// Charges per-record CPU. `weight` scales the base per-record cost by
+    /// the static complexity of the operator's UDFs (normalized so a typical
+    /// ~8-node lambda has weight 1) — this is how heavy UDFs like the spam
+    /// workflow's feature extractor dominate, and how caching their output
+    /// amortizes them (paper, Section 5.1).
+    fn charge_cpu_weighted(&mut self, total_records: u64, max_part_records: u64, weight: f64) {
+        self.stats.records_processed += total_records;
+        self.stats.charge_secs(
+            max_part_records as f64 * self.spec().cpu_per_record * (weight / 8.0).max(0.25),
+        );
+    }
+
+    fn charge_cpu(&mut self, total_records: u64, max_part_records: u64) {
+        self.charge_cpu_weighted(total_records, max_part_records, 8.0);
+    }
+
+    fn charge_broadcast(&mut self, bytes: u64) {
+        let spec = *self.spec();
+        let factor = self.personality().broadcast_factor;
+        let shipped = bytes.saturating_mul(spec.nodes as u64);
+        self.stats.bytes_broadcast += shipped;
+        self.stats
+            .charge_secs(shipped as f64 * factor / (spec.net_bw * spec.nodes as f64));
+    }
+
+    /// Charges the linear scans a UDF performs over broadcast bags (naive
+    /// nested-loop predicates), *before* evaluating — so a configuration the
+    /// paper reports as ">1h" aborts on the simulated clock instead of
+    /// actually executing a quadratic loop. Returns `Err(Timeout)` when the
+    /// charge pushes the clock past the budget.
+    fn charge_broadcast_scans(
+        &mut self,
+        lambda_body: &ScalarExpr,
+        base: &HashMap<String, Value>,
+        max_part_rows: u64,
+    ) -> Result<(), ExecError> {
+        let scan_rows = broadcast_fold_scan_rows(lambda_body, base, self.catalog);
+        if scan_rows > 0 {
+            self.stats
+                .charge_secs(max_part_rows as f64 * scan_rows as f64 * self.spec().native_op_cost);
+        }
+        self.check_budget()
+    }
+
+    /// Each fold over nested bag values re-scans the materialized data; when
+    /// the consumer's partition outgrew worker memory, the re-scan reads
+    /// spilled data with the engine's spill penalty.
+    fn charge_nested_bag_folds(&mut self, count: usize, input: &Partitioned) {
+        if count == 0 {
+            return;
+        }
+        let spec = *self.spec();
+        let max_bytes = input.max_part_bytes() as f64;
+        let mem = spec.mem_per_worker as f64;
+        let penalty = if max_bytes > mem {
+            // Re-scans of spilled first-class bag values pay the spill I/O
+            // and the same pressure curve as materializing them.
+            self.personality().spill_penalty
+                * (max_bytes / mem).powf(self.personality().group_pressure_exponent)
+        } else {
+            1.0
+        };
+        self.stats
+            .charge_secs(count as f64 * max_bytes * penalty / spec.disk_bw);
+    }
+
+    /// Memory-pressure penalty for materializing groups on reducers:
+    /// a reducer holding more than its worker memory pays spill I/O plus a
+    /// superlinear slowdown — this is what makes un-fused aggregations time
+    /// out on skewed data (Fig. 5) exactly like the paper's.
+    fn charge_group_materialization(&mut self, shuffled: &Partitioned) {
+        // Materializing groups costs I/O passes over the full input
+        // regardless of skew (sort runs / hash spill files).
+        let spec = *self.spec();
+        let passes = self.personality().group_materialize_passes;
+        self.stats.charge_secs(
+            shuffled.total_bytes() as f64 * passes / (spec.disk_bw * spec.nodes as f64),
+        );
+        let mem = self.spec().mem_per_worker as f64;
+        let max_bytes = shuffled.max_part_bytes() as f64;
+        if max_bytes > mem {
+            let ratio = max_bytes / mem;
+            let over = max_bytes - mem;
+            let spill_io = over * self.personality().spill_penalty / self.spec().disk_bw;
+            let mut pressure = ratio.powf(self.personality().group_pressure_exponent);
+            if ratio > 2.0 {
+                // A hash aggregation collapses past ~2× memory; a sort-based
+                // one keeps spilling (collapse factor 1).
+                pressure *= self.personality().hash_agg_collapse;
+            }
+            self.stats.bytes_spilled += over as u64;
+            self.stats.charge_secs(spill_io * pressure);
+        }
+    }
+
+    /// Hash-repartitions a dataset by a key, charging shuffle costs with
+    /// skew awareness. No-op (and no charge) if the layout already matches.
+    fn shuffle(
+        &mut self,
+        d: Partitioned,
+        key: &Lambda,
+        env: &EnvSnapshot,
+    ) -> Result<Partitioned, ExecError> {
+        let parts_n = self.dop();
+        if let Some(p) = &d.partitioning {
+            if p.satisfies(key, parts_n) {
+                return Ok(d);
+            }
+        }
+        let base = self.eval_base_for_lambdas(&[key], env)?;
+        let mut ev = Env::new(&base);
+        let mut buckets: Vec<Vec<Value>> = (0..parts_n).map(|_| Vec::new()).collect();
+        for part in &d.parts {
+            for row in part.iter() {
+                let k = interp::eval_lambda(key, std::slice::from_ref(row), &mut ev, self.catalog)
+                    .map_err(ExecError::Eval)?;
+                let b = (value_hash(&k) % parts_n as u64) as usize;
+                buckets[b].push(row.clone());
+            }
+        }
+        let out = Partitioned {
+            parts: buckets.into_iter().map(Arc::new).collect(),
+            partitioning: Some(Partitioning {
+                key: key.clone(),
+                parts: parts_n,
+            }),
+        };
+        let spec = *self.spec();
+        let total = out.total_bytes();
+        self.stats.bytes_shuffled += total;
+        // Stage time = max over receiving nodes; skew dominates balance.
+        let balanced = total as f64 / (spec.net_bw * spec.nodes as f64);
+        let skewed = out.max_node_bytes(spec.cores_per_node) as f64 / spec.net_bw;
+        // Large shuffles materialize M×R files; the per-file seeks are what
+        // bends Spark's no-fusion curves superlinear in the DOP (Fig. 5).
+        let seeks = if total > crate::cluster::SHUFFLE_FILE_CUTOFF {
+            (parts_n * parts_n) as f64 * self.personality().shuffle_seek / spec.nodes as f64
+        } else {
+            0.0
+        };
+        self.stats.stages += 1;
+        self.stats
+            .charge_secs(self.personality().stage_overhead + balanced.max(skewed) + seeks);
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------- thunks
+
+    fn force(&mut self, thunk: &Arc<Thunk>) -> Result<Partitioned, ExecError> {
+        if thunk.cache_enabled {
+            if let Some(hit) = thunk.memo.lock().clone() {
+                self.stats.cache_hits += 1;
+                self.charge_cache_read(&hit);
+                return Ok(hit);
+            }
+            let result = self.exec_bag(&thunk.plan.clone(), &thunk.env.clone())?;
+            self.stats.cache_misses += 1;
+            self.charge_cache_write(&result);
+            *thunk.memo.lock() = Some(result.clone());
+            Ok(result)
+        } else {
+            // Lazy lineage: every force recomputes from scratch.
+            self.stats.cache_misses += 1;
+            self.exec_bag(&thunk.plan.clone(), &thunk.env.clone())
+        }
+    }
+
+    fn charge_cache_read(&mut self, d: &Partitioned) {
+        let spec = *self.spec();
+        if self.personality().in_memory_cache {
+            // Memory-speed re-scan: an order of magnitude above disk.
+            self.stats
+                .charge_secs(d.total_bytes() as f64 / (spec.disk_bw * spec.nodes as f64 * 10.0));
+        } else {
+            // HDFS-backed cache: pay the full storage read.
+            self.stats.bytes_read_storage += d.total_bytes();
+            self.stats
+                .charge_secs(d.total_bytes() as f64 / (spec.disk_bw * spec.nodes as f64));
+        }
+    }
+
+    fn charge_cache_write(&mut self, d: &Partitioned) {
+        let spec = *self.spec();
+        if self.personality().in_memory_cache {
+            self.stats
+                .charge_secs(d.total_bytes() as f64 / (spec.disk_bw * spec.nodes as f64 * 10.0));
+        } else {
+            self.stats.bytes_written_storage += d.total_bytes();
+            self.stats
+                .charge_secs(d.total_bytes() as f64 / (spec.disk_bw * spec.nodes as f64));
+        }
+    }
+
+    // -------------------------------------------- broadcasts for UDF capture
+
+    /// Builds the base evaluation environment for a set of lambdas, charging
+    /// a broadcast for every driver bag (and every catalog dataset read
+    /// directly inside a UDF — physically the same data motion).
+    fn eval_base_for_lambdas(
+        &mut self,
+        lams: &[&Lambda],
+        env: &EnvSnapshot,
+    ) -> Result<HashMap<String, Value>, ExecError> {
+        let mut names: Vec<String> = Vec::new();
+        let mut reads: Vec<String> = Vec::new();
+        for lam in lams {
+            names.extend(lam.free_vars());
+            collect_reads_in_scalar(&lam.body, &mut reads);
+        }
+        self.build_base(names, reads, env)
+    }
+
+    fn eval_base_for_exprs(
+        &mut self,
+        exprs: &[&ScalarExpr],
+        env: &EnvSnapshot,
+    ) -> Result<HashMap<String, Value>, ExecError> {
+        let mut names: Vec<String> = Vec::new();
+        let mut reads: Vec<String> = Vec::new();
+        for e in exprs {
+            names.extend(e.free_vars());
+            collect_reads_in_scalar(e, &mut reads);
+        }
+        self.build_base(names, reads, env)
+    }
+
+    fn eval_base_for_bag_exprs(
+        &mut self,
+        bodies: &[&BagExpr],
+        env: &EnvSnapshot,
+    ) -> Result<HashMap<String, Value>, ExecError> {
+        let mut names: Vec<String> = Vec::new();
+        let mut reads: Vec<String> = Vec::new();
+        for b in bodies {
+            names.extend(b.free_vars());
+            collect_reads_in_bag(b, &mut reads);
+        }
+        self.build_base(names, reads, env)
+    }
+
+    fn eval_base_for_fold(
+        &mut self,
+        fold: &FoldOp,
+        env: &EnvSnapshot,
+    ) -> Result<HashMap<String, Value>, ExecError> {
+        let mut names: Vec<String> = Vec::new();
+        names.extend(fold.zero.free_vars());
+        names.extend(fold.sng.free_vars());
+        names.extend(fold.uni.free_vars());
+        let mut reads = Vec::new();
+        collect_reads_in_scalar(&fold.zero, &mut reads);
+        collect_reads_in_scalar(&fold.sng.body, &mut reads);
+        collect_reads_in_scalar(&fold.uni.body, &mut reads);
+        self.build_base(names, reads, env)
+    }
+
+    fn build_base(
+        &mut self,
+        names: Vec<String>,
+        reads: Vec<String>,
+        env: &EnvSnapshot,
+    ) -> Result<HashMap<String, Value>, ExecError> {
+        let mut base = HashMap::new();
+        let mut seen = std::collections::HashSet::new();
+        for name in names {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            let binding = env.get(&name).or_else(|| self.env.get(&name)).cloned();
+            match binding {
+                Some(Binding::Scalar(v)) => {
+                    base.insert(name, v);
+                }
+                Some(Binding::Bag(thunk)) => {
+                    // Driver → UDFs: force, collect, broadcast.
+                    let d = self.force(&thunk)?;
+                    let bytes = d.total_bytes();
+                    self.stats.charge_secs(bytes as f64 / self.spec().net_bw);
+                    self.charge_broadcast(bytes);
+                    base.insert(name, Value::bag(d.collect_rows()));
+                }
+                Some(Binding::Stateful(state)) => {
+                    let snap = {
+                        let st = state.lock();
+                        st.snapshot(&st.key)
+                    };
+                    let bytes = snap.total_bytes();
+                    self.stats.charge_secs(bytes as f64 / self.spec().net_bw);
+                    self.charge_broadcast(bytes);
+                    base.insert(name, Value::bag(snap.collect_rows()));
+                }
+                None => {
+                    // Unbound here; may be a catalog read inside the UDF or a
+                    // lambda-internal binder — leave resolution to eval time.
+                }
+            }
+        }
+        let mut seen_reads = std::collections::HashSet::new();
+        for src in reads {
+            if !seen_reads.insert(src.clone()) {
+                continue;
+            }
+            // A dataset scanned from inside a UDF must be shipped to every
+            // worker: storage read + broadcast.
+            if let Ok(rows) = self.catalog.get(&src) {
+                let bytes: u64 = rows.iter().map(Value::approx_bytes).sum();
+                self.stats.bytes_read_storage += bytes;
+                self.stats
+                    .charge_secs(bytes as f64 / (self.spec().disk_bw * self.spec().nodes as f64));
+                self.charge_broadcast(bytes);
+            }
+        }
+        Ok(base)
+    }
+}
+
+/// Whether a plan's output rows are materialized `(key, {{values}})` groups
+/// (looking through partition-preserving operators).
+fn consumes_grouped_rows(plan: &Plan) -> bool {
+    match plan {
+        Plan::GroupBy { .. } => true,
+        Plan::Filter { input, .. } | Plan::Cache { input } | Plan::Repartition { input, .. } => {
+            consumes_grouped_rows(input)
+        }
+        _ => false,
+    }
+}
+
+/// Runs a per-partition computation across worker threads (one simulated
+/// cluster is executed by however many real cores this machine has). Results
+/// keep partition order; the first error wins.
+fn run_partitions<F>(parts: &[Arc<Vec<Value>>], f: F) -> Result<Vec<Arc<Vec<Value>>>, ValueError>
+where
+    F: Fn(&[Value]) -> Result<Vec<Value>, ValueError> + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(parts.len().max(1));
+    let total_rows: usize = parts.iter().map(|p| p.len()).sum();
+    if threads <= 1 || total_rows < 4_096 {
+        return parts.iter().map(|p| f(p).map(Arc::new)).collect();
+    }
+    type Slot = Mutex<Option<Result<Vec<Value>, ValueError>>>;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Slot> = (0..parts.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= parts.len() {
+                    break;
+                }
+                *slots[i].lock() = Some(f(&parts[i]));
+            });
+        }
+    })
+    .expect("partition worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every partition processed")
+                .map(Arc::new)
+        })
+        .collect()
+}
+
+/// Strips a top-level `Cache` marker.
+fn strip_cache(plan: &Plan) -> (Plan, bool) {
+    match plan {
+        Plan::Cache { input } => ((**input).clone(), true),
+        other => (other.clone(), false),
+    }
+}
+
+/// Evaluates a flatMap body with its element binding pushed.
+fn eval_bag_with_binding(
+    body: &BagExpr,
+    param: &str,
+    row: Value,
+    ev: &mut Env<'_>,
+    catalog: &Catalog,
+) -> Result<Vec<Value>, ValueError> {
+    // Push/pop through the public lambda mechanism: wrap in a one-off fold.
+    // Simpler: bind via a synthetic lambda application.
+    let lam = Lambda {
+        params: vec![param.to_string()],
+        body: ScalarExpr::BagOf(Box::new(body.clone())),
+    };
+    let v = interp::eval_lambda(&lam, &[row], ev, catalog)?;
+    Ok(v.as_bag()?.to_vec())
+}
+
+/// Sums the row counts of folds over *broadcast* bags (chains rooted at a
+/// driver `Ref` or catalog `Read`) appearing in an expression — each record
+/// processed by the enclosing UDF linearly scans these bags (the naive
+/// `exists` of an un-unnested predicate). The caller charges
+/// `records × rows × native_op_cost`; at the paper's scale this is exactly
+/// why the un-unnested TPC-H Q4 cannot finish within an hour.
+pub(crate) fn broadcast_fold_scan_rows(
+    e: &ScalarExpr,
+    base: &HashMap<String, Value>,
+    catalog: &Catalog,
+) -> u64 {
+    fn chain_root_rows(b: &BagExpr, base: &HashMap<String, Value>, catalog: &Catalog) -> u64 {
+        match b {
+            BagExpr::Ref { name } => base
+                .get(name)
+                .and_then(|v| v.as_bag().ok())
+                .map(|rows| rows.len() as u64)
+                .unwrap_or(0),
+            BagExpr::Read { source } => catalog.get(source).map(|r| r.len() as u64).unwrap_or(0),
+            BagExpr::Map { input, .. }
+            | BagExpr::Filter { input, .. }
+            | BagExpr::FlatMap { input, .. } => chain_root_rows(input, base, catalog),
+            _ => 0,
+        }
+    }
+    match e {
+        ScalarExpr::Fold(bag, fold) => {
+            chain_root_rows(bag, base, catalog)
+                + broadcast_fold_scan_rows(&fold.sng.body, base, catalog)
+                + broadcast_fold_scan_rows(&fold.uni.body, base, catalog)
+        }
+        ScalarExpr::Lit(_) | ScalarExpr::Var(_) => 0,
+        ScalarExpr::Field(i, _) | ScalarExpr::UnOp(_, i) => {
+            broadcast_fold_scan_rows(i, base, catalog)
+        }
+        ScalarExpr::BinOp(_, l, r) => {
+            broadcast_fold_scan_rows(l, base, catalog) + broadcast_fold_scan_rows(r, base, catalog)
+        }
+        ScalarExpr::Call(_, args) | ScalarExpr::Tuple(args) => args
+            .iter()
+            .map(|a| broadcast_fold_scan_rows(a, base, catalog))
+            .sum(),
+        ScalarExpr::If(c, t, el) => {
+            broadcast_fold_scan_rows(c, base, catalog)
+                + broadcast_fold_scan_rows(t, base, catalog)
+                + broadcast_fold_scan_rows(el, base, catalog)
+        }
+        ScalarExpr::BagOf(_) => 0,
+    }
+}
+
+/// Counts fold terms that consume *nested* bags (chains rooted at an
+/// `OfValue`, i.e. materialized group values or other first-class nested
+/// collections). Each such fold re-scans its group's materialized values —
+/// with first-class `DataBag` groups this is a real per-aggregate pass over
+/// the data (and over *spilled* data when the groups exceeded memory), which
+/// is why the paper's un-fused Q1 (ten folds) dies while the un-fused Fig. 5
+/// aggregation (one fold) merely degrades.
+pub(crate) fn count_nested_bag_folds(e: &ScalarExpr) -> usize {
+    fn bag_has_ofvalue_root(b: &BagExpr) -> bool {
+        match b {
+            BagExpr::OfValue(_) => true,
+            BagExpr::Map { input, .. }
+            | BagExpr::Filter { input, .. }
+            | BagExpr::FlatMap { input, .. }
+            | BagExpr::GroupBy { input, .. }
+            | BagExpr::AggBy { input, .. } => bag_has_ofvalue_root(input),
+            BagExpr::Distinct(inner) => bag_has_ofvalue_root(inner),
+            BagExpr::Plus(l, r) | BagExpr::Minus(l, r) => {
+                bag_has_ofvalue_root(l) || bag_has_ofvalue_root(r)
+            }
+            BagExpr::Read { .. } | BagExpr::Values(_) | BagExpr::Ref { .. } => false,
+        }
+    }
+    match e {
+        ScalarExpr::Fold(bag, fold) => {
+            let own = usize::from(bag_has_ofvalue_root(bag));
+            own + count_nested_bag_folds(&fold.zero)
+                + count_nested_bag_folds(&fold.sng.body)
+                + count_nested_bag_folds(&fold.uni.body)
+        }
+        ScalarExpr::Lit(_) | ScalarExpr::Var(_) => 0,
+        ScalarExpr::Field(i, _) | ScalarExpr::UnOp(_, i) => count_nested_bag_folds(i),
+        ScalarExpr::BinOp(_, l, r) => count_nested_bag_folds(l) + count_nested_bag_folds(r),
+        ScalarExpr::Call(_, args) | ScalarExpr::Tuple(args) => {
+            args.iter().map(count_nested_bag_folds).sum()
+        }
+        ScalarExpr::If(c, t, el) => {
+            count_nested_bag_folds(c) + count_nested_bag_folds(t) + count_nested_bag_folds(el)
+        }
+        ScalarExpr::BagOf(_) => 0,
+    }
+}
+
+/// Collects catalog sources read from inside a scalar expression.
+fn collect_reads_in_scalar(e: &ScalarExpr, out: &mut Vec<String>) {
+    match e {
+        ScalarExpr::Lit(_) | ScalarExpr::Var(_) => {}
+        ScalarExpr::Field(i, _) | ScalarExpr::UnOp(_, i) => collect_reads_in_scalar(i, out),
+        ScalarExpr::BinOp(_, l, r) => {
+            collect_reads_in_scalar(l, out);
+            collect_reads_in_scalar(r, out);
+        }
+        ScalarExpr::Call(_, args) | ScalarExpr::Tuple(args) => {
+            for a in args {
+                collect_reads_in_scalar(a, out);
+            }
+        }
+        ScalarExpr::If(c, t, el) => {
+            collect_reads_in_scalar(c, out);
+            collect_reads_in_scalar(t, out);
+            collect_reads_in_scalar(el, out);
+        }
+        ScalarExpr::Fold(bag, fold) => {
+            collect_reads_in_bag(bag, out);
+            collect_reads_in_scalar(&fold.zero, out);
+            collect_reads_in_scalar(&fold.sng.body, out);
+            collect_reads_in_scalar(&fold.uni.body, out);
+        }
+        ScalarExpr::BagOf(bag) => collect_reads_in_bag(bag, out),
+    }
+}
+
+fn collect_reads_in_bag(b: &BagExpr, out: &mut Vec<String>) {
+    match b {
+        BagExpr::Read { source } => out.push(source.clone()),
+        BagExpr::Values(_) | BagExpr::Ref { .. } => {}
+        BagExpr::OfValue(e) => collect_reads_in_scalar(e, out),
+        BagExpr::Map { input, f } | BagExpr::Filter { input, p: f } => {
+            collect_reads_in_bag(input, out);
+            collect_reads_in_scalar(&f.body, out);
+        }
+        BagExpr::FlatMap { input, f } => {
+            collect_reads_in_bag(input, out);
+            collect_reads_in_bag(&f.body, out);
+        }
+        BagExpr::GroupBy { input, key } => {
+            collect_reads_in_bag(input, out);
+            collect_reads_in_scalar(&key.body, out);
+        }
+        BagExpr::AggBy { input, key, fold } => {
+            collect_reads_in_bag(input, out);
+            collect_reads_in_scalar(&key.body, out);
+            collect_reads_in_scalar(&fold.zero, out);
+            collect_reads_in_scalar(&fold.sng.body, out);
+            collect_reads_in_scalar(&fold.uni.body, out);
+        }
+        BagExpr::Plus(l, r) | BagExpr::Minus(l, r) => {
+            collect_reads_in_bag(l, out);
+            collect_reads_in_bag(r, out);
+        }
+        BagExpr::Distinct(e) => collect_reads_in_bag(e, out),
+    }
+}

@@ -1,0 +1,162 @@
+//! Execution metrics and the deterministic simulated clock.
+//!
+//! The engine really computes results, but "runtime" in the paper's figures
+//! is a function of cluster-level effects (shuffle volume, broadcast volume,
+//! storage reads, memory pressure), not of this process's wall clock. The
+//! [`ExecStats`] accumulator records both the physical byte/record counters
+//! and the derived simulated seconds, so benchmarks can report either.
+
+use std::fmt;
+
+/// Accumulated execution statistics for one program run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// The simulated wall-clock, in seconds.
+    pub simulated_secs: f64,
+    /// Exclusive simulated time attributed to each operator kind — an
+    /// `EXPLAIN ANALYZE`-style breakdown of where the clock went.
+    pub op_secs: std::collections::HashMap<&'static str, f64>,
+    /// Bytes moved through hash shuffles.
+    pub bytes_shuffled: u64,
+    /// Bytes shipped through broadcasts (driver → all workers).
+    pub bytes_broadcast: u64,
+    /// Bytes read from the storage layer (sources + HDFS-cache reads).
+    pub bytes_read_storage: u64,
+    /// Bytes written to the storage layer (sinks + HDFS-cache writes).
+    pub bytes_written_storage: u64,
+    /// Bytes spilled by over-memory aggregation state.
+    pub bytes_spilled: u64,
+    /// Records processed across all operators.
+    pub records_processed: u64,
+    /// Dataflow stages executed.
+    pub stages: u64,
+    /// Cache hits (thunk re-uses that avoided recomputation).
+    pub cache_hits: u64,
+    /// Cache misses (thunk forcings that executed the plan).
+    pub cache_misses: u64,
+    /// Loop iterations driven by the driver.
+    pub iterations: u64,
+}
+
+impl ExecStats {
+    /// Adds simulated time.
+    pub fn charge_secs(&mut self, secs: f64) {
+        debug_assert!(secs.is_finite() && secs >= 0.0, "bad charge: {secs}");
+        self.simulated_secs += secs;
+    }
+
+    /// The `n` most expensive operator kinds, by exclusive simulated time,
+    /// most expensive first.
+    pub fn top_operators(&self, n: usize) -> Vec<(&'static str, f64)> {
+        let mut ops: Vec<(&'static str, f64)> =
+            self.op_secs.iter().map(|(k, v)| (*k, *v)).collect();
+        ops.sort_by(|a, b| b.1.total_cmp(&a.1));
+        ops.truncate(n);
+        ops
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2}s  shuffle={}  bcast={}  read={}  spill={}  records={}  stages={}  cache {}/{} hit/miss  iters={}",
+            self.simulated_secs,
+            human_bytes(self.bytes_shuffled),
+            human_bytes(self.bytes_broadcast),
+            human_bytes(self.bytes_read_storage),
+            human_bytes(self.bytes_spilled),
+            self.records_processed,
+            self.stages,
+            self.cache_hits,
+            self.cache_misses,
+            self.iterations,
+        )
+    }
+}
+
+/// Formats a byte count with a binary-unit suffix.
+pub fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b}B")
+    } else {
+        format!("{v:.1}{}", UNITS[u])
+    }
+}
+
+/// Execution errors.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The simulated clock exceeded the configured timeout
+    /// (the paper's "did not finish within one hour").
+    Timeout {
+        /// Simulated seconds at abort.
+        at_secs: f64,
+        /// The configured budget.
+        budget_secs: f64,
+    },
+    /// An expression-evaluation error (type mismatch, unbound variable, …).
+    Eval(emma_compiler::value::ValueError),
+    /// Driver-level loop safety cap exceeded.
+    LoopCap(usize),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Timeout {
+                at_secs,
+                budget_secs,
+            } => write!(
+                f,
+                "timed out: simulated clock {at_secs:.1}s exceeded budget {budget_secs:.1}s"
+            ),
+            ExecError::Eval(e) => write!(f, "evaluation error: {e}"),
+            ExecError::LoopCap(n) => write!(f, "loop exceeded {n} iterations"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<emma_compiler::value::ValueError> for ExecError {
+    fn from(e: emma_compiler::value::ValueError) -> Self {
+        ExecError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut s = ExecStats::default();
+        s.charge_secs(1.5);
+        s.charge_secs(2.5);
+        assert!((s.simulated_secs - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.0KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0MiB");
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ExecError::Timeout {
+            at_secs: 3700.0,
+            budget_secs: 3600.0,
+        };
+        assert!(e.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,342 @@
+//! Engine edge cases: empty inputs, degenerate shapes, driver-side sources,
+//! join strategies pinned both ways, and cost-model monotonicity.
+
+use emma_compiler::bag_expr::{BagExpr, BagLambda};
+use emma_compiler::expr::{FoldOp, Lambda, ScalarExpr};
+use emma_compiler::interp::{Catalog, Interp};
+use emma_compiler::pipeline::{parallelize, OptimizerFlags};
+use emma_compiler::program::{Program, Stmt};
+use emma_compiler::value::Value;
+use emma_engine::cluster::{ClusterSpec, Personality};
+use emma_engine::Engine;
+
+fn engine() -> Engine {
+    Engine::new(ClusterSpec::tiny(), Personality::sparrow())
+}
+
+fn differential(p: &Program, catalog: &Catalog) {
+    let expected = Interp::new(catalog).run(p).expect("interp");
+    let compiled = parallelize(p, &OptimizerFlags::all());
+    let run = engine().run(&compiled, catalog).expect("engine");
+    for (sink, rows) in &expected.writes {
+        assert_eq!(
+            Value::bag(rows.clone()),
+            Value::bag(run.writes[sink].clone()),
+            "sink {sink}"
+        );
+    }
+}
+
+fn kv(k: i64, v: i64) -> Value {
+    Value::tuple(vec![Value::Int(k), Value::Int(v)])
+}
+
+#[test]
+fn empty_source_flows_through_everything() {
+    let catalog = Catalog::new().with("xs", vec![]).with("ys", vec![kv(1, 1)]);
+    let p = Program::new(vec![
+        Stmt::write(
+            "mapped",
+            BagExpr::read("xs").map(Lambda::new(["x"], ScalarExpr::var("x"))),
+        ),
+        Stmt::write(
+            "grouped",
+            BagExpr::read("xs")
+                .group_by(Lambda::new(["x"], ScalarExpr::var("x").get(0)))
+                .map(Lambda::new(
+                    ["g"],
+                    BagExpr::of_value(ScalarExpr::var("g").get(1)).count(),
+                )),
+        ),
+        Stmt::write(
+            "joined",
+            BagExpr::read("xs").flat_map(BagLambda::new(
+                "x",
+                BagExpr::read("ys")
+                    .filter(Lambda::new(
+                        ["y"],
+                        ScalarExpr::var("x").get(0).eq(ScalarExpr::var("y").get(0)),
+                    ))
+                    .map(Lambda::new(["y"], ScalarExpr::var("y"))),
+            )),
+        ),
+        Stmt::val("total", BagExpr::read("xs").count()),
+        Stmt::write(
+            "count",
+            BagExpr::Values(vec![Value::Int(0)]).map(Lambda::new(["z"], ScalarExpr::var("total"))),
+        ),
+    ]);
+    differential(&p, &catalog);
+}
+
+#[test]
+fn fold_over_empty_bag_returns_zero_element() {
+    let catalog = Catalog::new().with("xs", vec![]);
+    let p = Program::new(vec![
+        Stmt::val("s", BagExpr::read("xs").sum()),
+        Stmt::val("m", BagExpr::read("xs").min()),
+        Stmt::val("e", BagExpr::read("xs").is_empty()),
+    ]);
+    let compiled = parallelize(&p, &OptimizerFlags::all());
+    let run = engine().run(&compiled, &catalog).expect("engine");
+    assert_eq!(run.scalars["s"], Value::Float(0.0));
+    assert_eq!(run.scalars["m"], Value::Null);
+    assert_eq!(run.scalars["e"], Value::Bool(true));
+}
+
+#[test]
+fn driver_literal_and_of_scalar_sources() {
+    let catalog = Catalog::new();
+    let p = Program::new(vec![
+        Stmt::val(
+            "seq",
+            ScalarExpr::lit(Value::bag(vec![kv(1, 10), kv(2, 20)])),
+        ),
+        Stmt::write(
+            "out",
+            BagExpr::of_value(ScalarExpr::var("seq"))
+                .map(Lambda::new(["x"], ScalarExpr::var("x").get(1))),
+        ),
+    ]);
+    differential(&p, &catalog);
+}
+
+#[test]
+fn pinned_join_strategies_agree_with_auto() {
+    let catalog = Catalog::new()
+        .with("big", (0..500).map(|i| kv(i % 50, i)).collect())
+        .with("small", (0..20).map(|i| kv(i, -i)).collect());
+    let join = BagExpr::read("big").flat_map(BagLambda::new(
+        "b",
+        BagExpr::read("small")
+            .filter(Lambda::new(
+                ["s"],
+                ScalarExpr::var("b").get(0).eq(ScalarExpr::var("s").get(0)),
+            ))
+            .map(Lambda::new(
+                ["s"],
+                ScalarExpr::Tuple(vec![
+                    ScalarExpr::var("b").get(1),
+                    ScalarExpr::var("s").get(1),
+                ]),
+            )),
+    ));
+    let p = Program::new(vec![Stmt::write("j", join)]);
+    let auto = engine()
+        .run(&parallelize(&p, &OptimizerFlags::all()), &catalog)
+        .expect("auto");
+    // Pin both ways by rewriting the compiled plan.
+    use emma_compiler::pipeline::{CRValue, CStmt};
+    use emma_compiler::plan::{JoinStrategy, Plan};
+    for strategy in [JoinStrategy::Broadcast, JoinStrategy::Repartition] {
+        let mut compiled = parallelize(&p, &OptimizerFlags::all());
+        for s in &mut compiled.body {
+            let plan = match s {
+                CStmt::Write { plan, .. } => plan,
+                CStmt::Bind {
+                    value: CRValue::Bag(plan),
+                    ..
+                } => plan,
+                _ => continue,
+            };
+            fn pin(p: &mut Plan, st: JoinStrategy) {
+                if let Plan::Join {
+                    strategy,
+                    left,
+                    right,
+                    ..
+                } = p
+                {
+                    *strategy = st;
+                    pin(left, st);
+                    pin(right, st);
+                } else {
+                    match p {
+                        Plan::Map { input, .. }
+                        | Plan::FlatMap { input, .. }
+                        | Plan::Filter { input, .. }
+                        | Plan::GroupBy { input, .. }
+                        | Plan::AggBy { input, .. }
+                        | Plan::Fold { input, .. }
+                        | Plan::Distinct { input }
+                        | Plan::Cache { input }
+                        | Plan::Repartition { input, .. } => pin(input, st),
+                        Plan::Cross { left, right }
+                        | Plan::Plus { left, right }
+                        | Plan::Minus { left, right } => {
+                            pin(left, st);
+                            pin(right, st);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            pin(plan, strategy);
+        }
+        let run = engine().run(&compiled, &catalog).expect("pinned run");
+        assert_eq!(
+            Value::bag(auto.writes["j"].clone()),
+            Value::bag(run.writes["j"].clone()),
+            "{strategy:?} must agree with Auto"
+        );
+    }
+}
+
+#[test]
+fn bigger_inputs_cost_more_simulated_time() {
+    let program = Program::new(vec![Stmt::write(
+        "agg",
+        BagExpr::read("xs")
+            .group_by(Lambda::new(["x"], ScalarExpr::var("x").get(0)))
+            .map(Lambda::new(
+                ["g"],
+                BagExpr::of_value(ScalarExpr::var("g").get(1)).count(),
+            )),
+    )]);
+    let mut last = 0.0;
+    for n in [1_000i64, 10_000, 50_000] {
+        let catalog = Catalog::new().with("xs", (0..n).map(|i| kv(i % 32, i)).collect());
+        let run = engine()
+            .run(&parallelize(&program, &OptimizerFlags::all()), &catalog)
+            .expect("run");
+        assert!(
+            run.stats.simulated_secs > last,
+            "n={n}: {} !> {last}",
+            run.stats.simulated_secs
+        );
+        last = run.stats.simulated_secs;
+    }
+}
+
+#[test]
+fn nested_control_flow_differential() {
+    let catalog = Catalog::new().with("xs", (0..40).map(|i| kv(i % 4, i)).collect());
+    let p = Program::new(vec![
+        Stmt::var("best", ScalarExpr::lit(-1i64)),
+        Stmt::for_each(
+            "k",
+            ScalarExpr::lit(Value::bag(vec![
+                Value::Int(0),
+                Value::Int(1),
+                Value::Int(2),
+            ])),
+            vec![Stmt::if_else(
+                ScalarExpr::var("k")
+                    .rem(ScalarExpr::lit(2i64))
+                    .eq(ScalarExpr::lit(0i64)),
+                vec![
+                    Stmt::var(
+                        "c",
+                        BagExpr::read("xs")
+                            .filter(Lambda::new(
+                                ["x"],
+                                ScalarExpr::var("x").get(0).eq(ScalarExpr::var("k")),
+                            ))
+                            .count(),
+                    ),
+                    Stmt::if_else(
+                        ScalarExpr::var("c").gt(ScalarExpr::var("best")),
+                        vec![Stmt::assign("best", ScalarExpr::var("c"))],
+                        vec![],
+                    ),
+                ],
+                vec![],
+            )],
+        ),
+        Stmt::write(
+            "best",
+            BagExpr::Values(vec![Value::Int(0)]).map(Lambda::new(["z"], ScalarExpr::var("best"))),
+        ),
+    ]);
+    differential(&p, &catalog);
+}
+
+#[test]
+fn min_by_ties_are_deterministic_across_engines_and_interp() {
+    // Two centroids at equal distance: all three executions must make the
+    // same choice (the fold keeps the left/accumulated element on ties).
+    let catalog = Catalog::new().with(
+        "points",
+        vec![Value::tuple(vec![Value::Int(0), Value::Float(5.0)])],
+    );
+    let centers = vec![
+        Value::tuple(vec![Value::Int(1), Value::Float(4.0)]),
+        Value::tuple(vec![Value::Int(2), Value::Float(6.0)]),
+    ];
+    let p = Program::new(vec![
+        Stmt::val("cs", BagExpr::Values(centers)),
+        Stmt::write(
+            "assign",
+            BagExpr::read("points").map(Lambda::new(
+                ["p"],
+                ScalarExpr::Fold(
+                    Box::new(BagExpr::var("cs")),
+                    Box::new(FoldOp::min_by(Lambda::new(
+                        ["c"],
+                        ScalarExpr::call(
+                            emma_compiler::expr::BuiltinFn::Abs,
+                            vec![ScalarExpr::var("c").get(1).sub(ScalarExpr::var("p").get(1))],
+                        ),
+                    ))),
+                )
+                .get(0),
+            )),
+        ),
+    ]);
+    let expected = Interp::new(&catalog).run(&p).expect("interp");
+    for personality in [Personality::sparrow(), Personality::flamingo()] {
+        let run = Engine::new(ClusterSpec::tiny(), personality)
+            .run(&parallelize(&p, &OptimizerFlags::all()), &catalog)
+            .expect("engine");
+        assert_eq!(run.writes["assign"], expected.writes["assign"]);
+    }
+}
+
+#[test]
+fn operator_time_breakdown_accounts_for_the_clock() {
+    let catalog = Catalog::new().with("xs", (0..20_000).map(|i| kv(i % 16, i)).collect());
+    let p = Program::new(vec![Stmt::write(
+        "agg",
+        BagExpr::read("xs")
+            .group_by(Lambda::new(["x"], ScalarExpr::var("x").get(0)))
+            .map(Lambda::new(
+                ["g"],
+                BagExpr::of_value(ScalarExpr::var("g").get(1)).count(),
+            )),
+    )]);
+    // Without fusion so a GroupBy node exists in the plan.
+    let run = engine()
+        .run(
+            &parallelize(&p, &OptimizerFlags::all().with_fold_group_fusion(false)),
+            &catalog,
+        )
+        .expect("run");
+    let total: f64 = run.stats.op_secs.values().sum();
+    // Exclusive times sum to (almost exactly) the full clock; the remainder
+    // is driver-side work outside any plan node (e.g. the sink write).
+    assert!(
+        total <= run.stats.simulated_secs + 1e-9,
+        "{total} vs {}",
+        run.stats.simulated_secs
+    );
+    assert!(total > run.stats.simulated_secs * 0.5, "{:?}", run.stats.op_secs);
+    let top = run.stats.top_operators(3);
+    assert!(!top.is_empty());
+    assert!(
+        run.stats.op_secs.contains_key("GroupBy"),
+        "{:?}",
+        run.stats.op_secs
+    );
+}
+
+#[test]
+fn writes_charge_storage_and_record_rows() {
+    let catalog = Catalog::new().with("xs", (0..1_000).map(|i| kv(i, i)).collect());
+    let p = Program::new(vec![Stmt::write("out", BagExpr::read("xs"))]);
+    let run = engine()
+        .run(&parallelize(&p, &OptimizerFlags::all()), &catalog)
+        .expect("run");
+    assert_eq!(run.writes["out"].len(), 1_000);
+    assert!(run.stats.bytes_written_storage > 0);
+    assert!(run.stats.bytes_read_storage > 0);
+}

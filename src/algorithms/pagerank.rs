@@ -1,0 +1,278 @@
+//! PageRank (paper, Listing 6 and Section 5.2).
+//!
+//! The paper's Listing 6 refines a `StatefulBag` of ranks; the distributed
+//! form here is the equivalent pure-dataflow variant: per iteration, each
+//! vertex's rank is split among its out-neighbors (a join between the
+//! adjacency list and the current ranks followed by a dependent generator
+//! over the neighbor bag — which lowering merges as a `flatMap`), incoming
+//! contributions are summed per vertex (fold-group fusion turns this into an
+//! `aggBy`), and the damping formula produces the next rank vector.
+//!
+//! Vertices with no in-edges receive no messages and drop to the damping
+//! floor implicitly — the standard dataflow simplification of Listing 6's
+//! point-wise state update (documented in DESIGN.md).
+//!
+//! The typed `StatefulBag` form of Listing 6 itself is demonstrated in
+//! [`local_pagerank_stateful`], which tests use as ground truth.
+
+use emma_compiler::bag_expr::{BagExpr, BagLambda};
+use emma_compiler::expr::{FoldOp, Lambda, ScalarExpr};
+use emma_compiler::interp::Catalog;
+use emma_compiler::program::{Program, Stmt};
+use emma_core::{DataBag, Keyed, StatefulBag};
+use emma_datagen::graph::{self, GraphSpec};
+
+/// The sink the final ranks are written to.
+pub const SINK: &str = "ranks";
+
+/// PageRank parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PagerankParams {
+    /// Damping factor (the paper's `DF`).
+    pub damping: f64,
+    /// Fixed iteration count (Listing 6 iterates a fixed number of times).
+    pub iterations: i64,
+    /// Number of vertices (`numPages` in the rank formula).
+    pub num_pages: usize,
+}
+
+impl Default for PagerankParams {
+    fn default() -> Self {
+        PagerankParams {
+            damping: 0.85,
+            iterations: 10,
+            num_pages: 1_000,
+        }
+    }
+}
+
+/// Builds the quoted PageRank program over catalog dataset `"vertices"`
+/// (adjacency form `(id, {{neighbors}})`).
+pub fn program(params: &PagerankParams) -> Program {
+    let n = params.num_pages as f64;
+    let df = params.damping;
+    // messages = for (v <- vertices; r <- ranks; if v.id == r.id;
+    //                 nb <- v.neighbors)
+    //            yield (nb, r.rank / v.neighbors.count())
+    let messages = BagExpr::var("vertices").flat_map(BagLambda::new(
+        "v",
+        BagExpr::var("ranks")
+            .filter(Lambda::new(
+                ["r"],
+                ScalarExpr::var("v").get(0).eq(ScalarExpr::var("r").get(0)),
+            ))
+            .flat_map(BagLambda::new(
+                "r",
+                BagExpr::of_value(ScalarExpr::var("v").get(1)).map(Lambda::new(
+                    ["nb"],
+                    ScalarExpr::Tuple(vec![
+                        ScalarExpr::var("nb"),
+                        ScalarExpr::var("r")
+                            .get(1)
+                            .div(BagExpr::of_value(ScalarExpr::var("v").get(1)).count()),
+                    ]),
+                )),
+            )),
+    ));
+    // updates = for (g <- messages.groupBy(_.vertex))
+    //           yield (g.key, (1 - DF)/numPages + DF * sum(g.values.rank))
+    let updates = messages
+        .group_by(Lambda::new(["m"], ScalarExpr::var("m").get(0)))
+        .map(Lambda::new(
+            ["g"],
+            ScalarExpr::Tuple(vec![
+                ScalarExpr::var("g").get(0),
+                ScalarExpr::lit((1.0 - df) / n).add(
+                    ScalarExpr::lit(df).mul(
+                        BagExpr::of_value(ScalarExpr::var("g").get(1))
+                            .map(Lambda::new(["m"], ScalarExpr::var("m").get(1)))
+                            .fold(FoldOp::sum()),
+                    ),
+                ),
+            ]),
+        ));
+
+    Program::new(vec![
+        Stmt::val("vertices", BagExpr::read("vertices")),
+        Stmt::var(
+            "ranks",
+            BagExpr::var("vertices").map(Lambda::new(
+                ["v"],
+                ScalarExpr::Tuple(vec![ScalarExpr::var("v").get(0), ScalarExpr::lit(1.0 / n)]),
+            )),
+        ),
+        Stmt::var("iter", ScalarExpr::lit(0i64)),
+        Stmt::while_loop(
+            ScalarExpr::var("iter").lt(ScalarExpr::lit(params.iterations)),
+            vec![
+                Stmt::assign("ranks", updates),
+                Stmt::assign("iter", ScalarExpr::var("iter").add(ScalarExpr::lit(1i64))),
+            ],
+        ),
+        Stmt::write(SINK, BagExpr::var("ranks")),
+    ])
+}
+
+/// Builds the catalog for a graph spec.
+pub fn catalog(spec: &GraphSpec) -> Catalog {
+    Catalog::new().with("vertices", graph::adjacency(spec))
+}
+
+/// Listing 6 *verbatim in the quoted language*: a stateful bag of
+/// `(id, rank)` pairs refined with point-wise message updates. Unlike the
+/// pure-dataflow [`program`], message-less vertices keep their previous rank
+/// — exactly the paper's update semantics.
+pub fn stateful_program(params: &PagerankParams) -> Program {
+    let n = params.num_pages as f64;
+    let df = params.damping;
+    // messages = for (p <- ranks.bag(); v <- vertices; if p.id == v.vertex;
+    //                 nb <- v.neighbors)
+    //            yield RankMessage(nb, p.rank / v.neighbors.count())
+    let messages = BagExpr::var("ranks").flat_map(BagLambda::new(
+        "p",
+        BagExpr::var("vertices")
+            .filter(Lambda::new(
+                ["v"],
+                ScalarExpr::var("p").get(0).eq(ScalarExpr::var("v").get(0)),
+            ))
+            .flat_map(BagLambda::new(
+                "v",
+                BagExpr::of_value(ScalarExpr::var("v").get(1)).map(Lambda::new(
+                    ["nb"],
+                    ScalarExpr::Tuple(vec![
+                        ScalarExpr::var("nb"),
+                        ScalarExpr::var("p")
+                            .get(1)
+                            .div(BagExpr::of_value(ScalarExpr::var("v").get(1)).count()),
+                    ]),
+                )),
+            )),
+    ));
+    // updates = for (g <- messages.groupBy(_.vertex))
+    //           yield VertexWithRank(g.key, (1-DF)/numPages + DF * inRanks)
+    let updates = messages
+        .group_by(Lambda::new(["m"], ScalarExpr::var("m").get(0)))
+        .map(Lambda::new(
+            ["g"],
+            ScalarExpr::Tuple(vec![
+                ScalarExpr::var("g").get(0),
+                ScalarExpr::lit((1.0 - df) / n).add(
+                    ScalarExpr::lit(df).mul(
+                        BagExpr::of_value(ScalarExpr::var("g").get(1))
+                            .map(Lambda::new(["m"], ScalarExpr::var("m").get(1)))
+                            .fold(FoldOp::sum()),
+                    ),
+                ),
+            ]),
+        ));
+
+    Program::new(vec![
+        Stmt::val("vertices", BagExpr::read("vertices")),
+        // ranks = stateful(vertices.map(v => (v.id, 1/N)))
+        Stmt::stateful(
+            "ranks",
+            BagExpr::var("vertices").map(Lambda::new(
+                ["v"],
+                ScalarExpr::Tuple(vec![ScalarExpr::var("v").get(0), ScalarExpr::lit(1.0 / n)]),
+            )),
+            Lambda::new(["r"], ScalarExpr::var("r").get(0)),
+        ),
+        Stmt::var("iter", ScalarExpr::lit(0i64)),
+        Stmt::while_loop(
+            ScalarExpr::var("iter").lt(ScalarExpr::lit(params.iterations)),
+            vec![
+                Stmt::val("updates", updates),
+                // ranks.update(updates)((s, u) => Some(s.copy(rank = u.rank)))
+                Stmt::stateful_update(
+                    "ranks",
+                    "changed",
+                    BagExpr::var("updates"),
+                    Lambda::new(["u"], ScalarExpr::var("u").get(0)),
+                    Lambda::new(
+                        ["s", "u"],
+                        ScalarExpr::Tuple(vec![
+                            ScalarExpr::var("s").get(0),
+                            ScalarExpr::var("u").get(1),
+                        ]),
+                    ),
+                ),
+                Stmt::assign("iter", ScalarExpr::var("iter").add(ScalarExpr::lit(1i64))),
+            ],
+        ),
+        Stmt::write(SINK, BagExpr::var("ranks")),
+    ])
+}
+
+/// A vertex state record for the typed `StatefulBag` variant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankState {
+    /// Vertex id.
+    pub id: i64,
+    /// Out-neighbor ids.
+    pub neighbors: Vec<i64>,
+    /// Current rank.
+    pub rank: f64,
+}
+
+impl Keyed for RankState {
+    type Key = i64;
+    fn key(&self) -> i64 {
+        self.id
+    }
+}
+
+/// A rank message for the typed variant.
+#[derive(Clone, Debug)]
+pub struct RankMessage {
+    /// Receiving vertex.
+    pub vertex: i64,
+    /// Contributed rank.
+    pub rank: f64,
+}
+
+impl Keyed for RankMessage {
+    type Key = i64;
+    fn key(&self) -> i64 {
+        self.vertex
+    }
+}
+
+/// Listing 6, verbatim against the typed local layer: a `StatefulBag` of
+/// per-vertex state refined with point-wise updates. Returns `(id, rank)`.
+///
+/// This variant *does* keep message-less vertices at their previous rank,
+/// exactly like the paper's update semantics; the dataflow variant above
+/// drops them to the damping floor (see module docs).
+pub fn local_pagerank_stateful(
+    adjacency: &[(i64, Vec<i64>)],
+    params: &PagerankParams,
+) -> Vec<(i64, f64)> {
+    let n = params.num_pages as f64;
+    let df = params.damping;
+    let initial = DataBag::from_seq(adjacency.iter().map(|(id, nbrs)| RankState {
+        id: *id,
+        neighbors: nbrs.clone(),
+        rank: 1.0 / n,
+    }));
+    let mut ranks = StatefulBag::new(initial);
+    for _ in 0..params.iterations {
+        let messages: DataBag<RankMessage> = ranks.bag().flat_map(|s| {
+            let share = s.rank / s.neighbors.len().max(1) as f64;
+            DataBag::from_seq(s.neighbors.iter().map(|nb| RankMessage {
+                vertex: *nb,
+                rank: share,
+            }))
+        });
+        let updates: DataBag<RankMessage> = messages.group_by(|m| m.vertex).map(|g| RankMessage {
+            vertex: g.key,
+            rank: (1.0 - df) / n + df * g.values.sum_by(|m| m.rank),
+        });
+        ranks.update_with_messages(updates, |s, u| {
+            Some(RankState {
+                rank: u.rank,
+                ..s.clone()
+            })
+        });
+    }
+    ranks.bag().map(|s| (s.id, s.rank)).fetch()
+}

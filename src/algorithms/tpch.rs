@@ -1,0 +1,116 @@
+//! TPC-H Q1 and Q4 (paper, Listings 8–9 and Section 5.2).
+//!
+//! Q1 is the fold-group-fusion showcase: six aggregates plus three averages
+//! are written as independent folds over the group values and the rewrite
+//! fuses them into one `aggBy` slot tuple — in other dataflow APIs the
+//! programmer performs this banana-split + combiner rewrite by hand
+//! (Listing 1, lines 5–6).
+//!
+//! Q4 additionally exercises exists-unnesting: the correlated `EXISTS`
+//! subquery stays at SQL's level of declarativity and the compiler decides
+//! the evaluation strategy (semi-join with a pushed-down lineitem filter).
+
+use emma_compiler::bag_expr::BagExpr;
+use emma_compiler::expr::{Lambda, ScalarExpr};
+use emma_compiler::interp::Catalog;
+use emma_compiler::program::{Program, Stmt};
+use emma_datagen::tpch::{self, lineitem as li, orders as ord, TpchSpec};
+
+/// Q1's result sink.
+pub const Q1_SINK: &str = "q1";
+/// Q4's result sink.
+pub const Q4_SINK: &str = "q4";
+
+fn l(field: usize) -> ScalarExpr {
+    ScalarExpr::var("l").get(field)
+}
+
+/// A fold over the group's values projected through `f`.
+fn group_sum(f: ScalarExpr) -> ScalarExpr {
+    BagExpr::of_value(ScalarExpr::var("g").get(1))
+        .map(Lambda::new(["l"], f))
+        .sum()
+}
+
+fn group_count() -> ScalarExpr {
+    BagExpr::of_value(ScalarExpr::var("g").get(1)).count()
+}
+
+/// Builds TPC-H Q1 over catalog dataset `"lineitem"` (Listing 8).
+pub fn q1_program() -> Program {
+    let filtered = BagExpr::read("lineitem").filter(Lambda::new(
+        ["l"],
+        l(li::SHIP_DATE).le(ScalarExpr::lit(tpch::Q1_SHIP_CUTOFF)),
+    ));
+    let one = || ScalarExpr::lit(1.0f64);
+    let disc_price = || l(li::EXTENDED_PRICE).mul(one().sub(l(li::DISCOUNT)));
+    let charge = || disc_price().mul(one().add(l(li::TAX)));
+    let result = filtered
+        .group_by(Lambda::new(
+            ["l"],
+            ScalarExpr::Tuple(vec![l(li::RETURN_FLAG), l(li::LINE_STATUS)]),
+        ))
+        .map(Lambda::new(
+            ["g"],
+            ScalarExpr::Tuple(vec![
+                ScalarExpr::var("g").get(0).get(0), // returnFlag
+                ScalarExpr::var("g").get(0).get(1), // lineStatus
+                group_sum(l(li::QUANTITY)),         // sum_qty
+                group_sum(l(li::EXTENDED_PRICE)),   // sum_base_price
+                group_sum(disc_price()),            // sum_disc_price
+                group_sum(charge()),                // sum_charge
+                // Averages as ratios of folds, exactly like Listing 8.
+                group_sum(l(li::QUANTITY)).div(group_count()), // avg_qty
+                group_sum(l(li::EXTENDED_PRICE)).div(group_count()), // avg_price
+                group_sum(l(li::DISCOUNT)).div(group_count()), // avg_disc
+                group_count(),                                 // count_order
+            ]),
+        ));
+    Program::new(vec![Stmt::write(Q1_SINK, result)])
+}
+
+/// Builds TPC-H Q4 over catalog datasets `"orders"` and `"lineitem"`
+/// (Listing 9).
+pub fn q4_program() -> Program {
+    // join = for (o <- orders
+    //             if o.orderDate >= dateMin && o.orderDate < dateMax
+    //             && lineitems.exists(li => li.orderKey == o.orderKey
+    //                                    && li.commitDate < li.receiptDate))
+    //        yield (o.orderPriority, 1)
+    let o = |field: usize| ScalarExpr::var("o").get(field);
+    let exists = BagExpr::read("lineitem").exists(Lambda::new(
+        ["l"],
+        l(li::ORDER_KEY)
+            .eq(o(ord::ORDER_KEY))
+            .and(l(li::COMMIT_DATE).lt(l(li::RECEIPT_DATE))),
+    ));
+    let join = BagExpr::read("orders")
+        .filter(Lambda::new(
+            ["o"],
+            o(ord::ORDER_DATE)
+                .ge(ScalarExpr::lit(tpch::Q4_DATE_MIN))
+                .and(o(ord::ORDER_DATE).lt(ScalarExpr::lit(tpch::Q4_DATE_MAX)))
+                .and(exists),
+        ))
+        .map(Lambda::new(
+            ["o"],
+            ScalarExpr::Tuple(vec![o(ord::PRIORITY), ScalarExpr::lit(1i64)]),
+        ));
+    // rslt = for (g <- join.groupBy(_.orderPriority))
+    //        yield (g.key, g.values.count())
+    let result = join
+        .group_by(Lambda::new(["t"], ScalarExpr::var("t").get(0)))
+        .map(Lambda::new(
+            ["g"],
+            ScalarExpr::Tuple(vec![ScalarExpr::var("g").get(0), group_count()]),
+        ));
+    Program::new(vec![Stmt::write(Q4_SINK, result)])
+}
+
+/// Builds the catalog for a TPC-H spec.
+pub fn catalog(spec: &TpchSpec) -> Catalog {
+    let (lineitem_rows, orders_rows) = tpch::generate(spec);
+    Catalog::new()
+        .with("lineitem", lineitem_rows)
+        .with("orders", orders_rows)
+}

@@ -1,0 +1,275 @@
+//! A vertex-centric graph API on top of `DataBag` + `StatefulBag`
+//! (paper §3.1: stateful bags capture "vertex-centric" models
+//! domain-agnostically; §7 names a graph API as future work).
+//!
+//! A [`Graph`] holds per-vertex state; [`Graph::pregel`] runs synchronous
+//! message-passing supersteps: every (changed) vertex sends messages along
+//! its out-edges, messages to a vertex are combined with an associative
+//! commutative function (a fold!), and a point-wise update decides whether
+//! the vertex changes — semi-naive iteration falls out of `StatefulBag`'s
+//! changed-delta for free.
+
+use emma_core::{DataBag, Keyed, StatefulBag};
+use std::collections::HashMap;
+
+/// Per-vertex state: id, out-neighbors, and a user value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Vertex<V> {
+    /// Vertex id.
+    pub id: i64,
+    /// Out-neighbor ids.
+    pub out: Vec<i64>,
+    /// The algorithm's per-vertex value.
+    pub value: V,
+}
+
+impl<V: Clone> Keyed for Vertex<V> {
+    type Key = i64;
+    fn key(&self) -> i64 {
+        self.id
+    }
+}
+
+/// A message addressed to a vertex.
+#[derive(Clone, Debug)]
+pub struct Message<M> {
+    /// Receiver vertex id.
+    pub to: i64,
+    /// Payload.
+    pub payload: M,
+}
+
+impl<M: Clone> Keyed for Message<M> {
+    type Key = i64;
+    fn key(&self) -> i64 {
+        self.to
+    }
+}
+
+/// A graph with per-vertex values.
+pub struct Graph<V: Clone> {
+    state: StatefulBag<Vertex<V>>,
+}
+
+impl<V: Clone + PartialEq + 'static> Graph<V> {
+    /// Builds a graph from `(id, out-neighbors)` adjacency and an initial
+    /// value function.
+    pub fn new(adjacency: &[(i64, Vec<i64>)], init: impl Fn(i64) -> V) -> Self {
+        let vertices = DataBag::from_seq(adjacency.iter().map(|(id, out)| Vertex {
+            id: *id,
+            out: out.clone(),
+            value: init(*id),
+        }));
+        Graph {
+            state: StatefulBag::new(vertices),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Snapshot of `(id, value)` pairs.
+    pub fn values(&self) -> Vec<(i64, V)> {
+        self.state.bag().map(|v| (v.id, v.value.clone())).fetch()
+    }
+
+    /// Out-degree per vertex.
+    pub fn out_degrees(&self) -> Vec<(i64, usize)> {
+        self.state.bag().map(|v| (v.id, v.out.len())).fetch()
+    }
+
+    /// In-degree per vertex — a groupBy + count over the edge bag, i.e. a
+    /// fold-group-fusable aggregation in the core language.
+    pub fn in_degrees(&self) -> Vec<(i64, u64)> {
+        let edges = self
+            .state
+            .bag()
+            .flat_map(|v| DataBag::from_seq(v.out.iter().copied()));
+        let mut degrees: Vec<(i64, u64)> = edges
+            .group_by(|dst| *dst)
+            .map(|g| (g.key, g.values.count()))
+            .fetch();
+        // Vertices nobody points at.
+        let with_in: std::collections::HashSet<i64> = degrees.iter().map(|(v, _)| *v).collect();
+        for v in self.state.bag().iter() {
+            if !with_in.contains(&v.id) {
+                degrees.push((v.id, 0));
+            }
+        }
+        degrees
+    }
+
+    /// Synchronous vertex-centric iteration (Pregel-style), expressed with
+    /// the core-language pieces:
+    ///
+    /// * `send(vertex) → payload` — each *changed* vertex sends its payload
+    ///   along every out-edge (a flatMap over the delta);
+    /// * `combine` — associative-commutative merge of payloads per receiver
+    ///   (a fold; distributed execution pre-aggregates it combiner-side);
+    /// * `apply(old, combined) → Option<new>` — the point-wise state update;
+    ///   returning `None` leaves the vertex unchanged and (semi-naively)
+    ///   silent next round.
+    ///
+    /// Runs until no vertex changes or `max_supersteps` is reached; returns
+    /// the number of supersteps executed.
+    pub fn pregel<M: Clone + 'static>(
+        &mut self,
+        max_supersteps: usize,
+        send: impl Fn(&Vertex<V>) -> M,
+        combine: impl Fn(M, M) -> M,
+        apply: impl Fn(&V, &M) -> Option<V>,
+    ) -> usize {
+        let mut delta = self.state.bag();
+        let mut steps = 0;
+        while !delta.is_empty() && steps < max_supersteps {
+            steps += 1;
+            let messages: DataBag<Message<M>> = delta.flat_map(|v| {
+                let payload = send(v);
+                DataBag::from_seq(v.out.iter().map(|to| Message {
+                    to: *to,
+                    payload: payload.clone(),
+                }))
+            });
+            // Combine per receiver (the per-key fold).
+            let mut combined: HashMap<i64, M> = HashMap::new();
+            for m in messages {
+                match combined.remove(&m.to) {
+                    Some(acc) => {
+                        combined.insert(m.to, combine(acc, m.payload));
+                    }
+                    None => {
+                        combined.insert(m.to, m.payload);
+                    }
+                }
+            }
+            let updates = DataBag::from_seq(
+                combined
+                    .into_iter()
+                    .map(|(to, payload)| Message { to, payload }),
+            );
+            delta = self.state.update_with_messages(updates, |vertex, msg| {
+                apply(&vertex.value, &msg.payload).map(|value| Vertex {
+                    value,
+                    ..vertex.clone()
+                })
+            });
+        }
+        steps
+    }
+}
+
+/// Connected components via max-label propagation (Listing 7 as three lines
+/// of the graph API). Returns `(id, component)`.
+pub fn connected_components(adjacency: &[(i64, Vec<i64>)]) -> Vec<(i64, i64)> {
+    let mut g = Graph::new(adjacency, |id| id);
+    g.pregel(
+        usize::MAX,
+        |v| v.value,
+        i64::max,
+        |old, msg| if msg > old { Some(*msg) } else { None },
+    );
+    g.values()
+}
+
+/// PageRank with a fixed iteration count (Listing 6 through the graph API).
+/// Returns `(id, rank)`.
+pub fn pagerank(adjacency: &[(i64, Vec<i64>)], damping: f64, iterations: usize) -> Vec<(i64, f64)> {
+    let n = adjacency.len() as f64;
+    let mut g = Graph::new(adjacency, |_| 1.0 / n);
+    for _ in 0..iterations {
+        // One superstep per iteration: every vertex resends each round.
+        let degrees: HashMap<i64, usize> = g.out_degrees().into_iter().collect();
+        let mut shares = Graph::new(adjacency, |_| 0.0);
+        // Transfer current values into the sender graph.
+        let current: HashMap<i64, f64> = g.values().into_iter().collect();
+        shares.pregel(
+            1,
+            |v| current[&v.id] / degrees[&v.id].max(1) as f64,
+            |a, b| a + b,
+            |_, in_sum| Some((1.0 - damping) / n + damping * in_sum),
+        );
+        // Vertices that received no messages decay to the damping floor,
+        // like the dataflow variant.
+        let received: HashMap<i64, f64> = shares
+            .values()
+            .into_iter()
+            .filter(|(_, v)| *v != 0.0)
+            .collect();
+        g = Graph::new(adjacency, |id| {
+            received.get(&id).copied().unwrap_or((1.0 - damping) / n)
+        });
+    }
+    g.values()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_and_island() -> Vec<(i64, Vec<i64>)> {
+        // 0 ↔ 1 ↔ 2 (undirected chain) and 3 ↔ 4 (island).
+        vec![
+            (0, vec![1]),
+            (1, vec![0, 2]),
+            (2, vec![1]),
+            (3, vec![4]),
+            (4, vec![3]),
+        ]
+    }
+
+    #[test]
+    fn connected_components_finds_both_components() {
+        let comps: HashMap<i64, i64> = connected_components(&chain_and_island())
+            .into_iter()
+            .collect();
+        assert_eq!(comps[&0], comps[&1]);
+        assert_eq!(comps[&1], comps[&2]);
+        assert_eq!(comps[&3], comps[&4]);
+        assert_ne!(comps[&0], comps[&3]);
+        // Max-label convention.
+        assert_eq!(comps[&0], 2);
+        assert_eq!(comps[&3], 4);
+    }
+
+    #[test]
+    fn degrees_are_consistent() {
+        let g = Graph::new(&chain_and_island(), |_| ());
+        let out: HashMap<i64, usize> = g.out_degrees().into_iter().collect();
+        assert_eq!(out[&1], 2);
+        let ins: HashMap<i64, u64> = g.in_degrees().into_iter().collect();
+        assert_eq!(ins[&1], 2);
+        let total_out: usize = out.values().sum();
+        let total_in: u64 = ins.values().sum();
+        assert_eq!(total_out as u64, total_in);
+    }
+
+    #[test]
+    fn pregel_stops_when_nothing_changes() {
+        let mut g = Graph::new(&chain_and_island(), |id| id);
+        let steps = g.pregel(
+            100,
+            |v| v.value,
+            i64::max,
+            |old, msg| if msg > old { Some(*msg) } else { None },
+        );
+        assert!(steps < 100, "converged in {steps} supersteps");
+    }
+
+    #[test]
+    fn graph_api_pagerank_matches_stateful_listing6_ranking() {
+        let adjacency = vec![
+            (0, vec![1, 2]),
+            (1, vec![0]),
+            (2, vec![0]),
+            (3, vec![0]), // 3 has no in-edges
+        ];
+        let ranks: HashMap<i64, f64> = pagerank(&adjacency, 0.85, 10).into_iter().collect();
+        // Vertex 0 is most popular; 3 is at the floor.
+        assert!(ranks[&0] > ranks[&1]);
+        assert!(ranks[&1] > ranks[&3]);
+        let floor = (1.0 - 0.85) / 4.0;
+        assert!((ranks[&3] - floor).abs() < 1e-12);
+    }
+}

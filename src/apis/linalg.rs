@@ -1,0 +1,273 @@
+//! A sparse linear-algebra API on top of `DataBag` (paper §7 future work).
+//!
+//! A [`SparseMatrix`] is a bag of coordinate triples `(row, col, value)`;
+//! every operation is a comprehension or a fold over that bag, so the whole
+//! API stays inside the optimizable core language: matrix–vector and
+//! matrix–matrix products are join-then-aggregate comprehensions (exactly
+//! the shape fold-group fusion turns into combiner-side aggregations), and
+//! reductions are folds.
+
+use emma_core::DataBag;
+use std::collections::HashMap;
+
+/// A sparse matrix in coordinate (COO) form.
+#[derive(Clone, Debug)]
+pub struct SparseMatrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    entries: DataBag<(usize, usize, f64)>,
+}
+
+/// A sparse vector as a bag of `(index, value)` pairs.
+#[derive(Clone, Debug)]
+pub struct SparseVector {
+    /// Dimension.
+    pub dim: usize,
+    entries: DataBag<(usize, f64)>,
+}
+
+impl SparseMatrix {
+    /// Builds a matrix from coordinate triples, dropping explicit zeros and
+    /// summing duplicates (bag semantics make duplicate handling a fold).
+    pub fn from_triples(
+        rows: usize,
+        cols: usize,
+        triples: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Self {
+        let raw = DataBag::from_seq(triples);
+        for (r, c, _) in raw.iter() {
+            assert!(*r < rows && *c < cols, "entry ({r},{c}) out of bounds");
+        }
+        let entries = raw
+            .group_by(|(r, c, _)| (*r, *c))
+            .map(|g| {
+                let (r, c) = g.key;
+                (r, c, g.values.sum_by(|(_, _, v)| *v))
+            })
+            .with_filter(|(_, _, v)| *v != 0.0);
+        SparseMatrix {
+            rows,
+            cols,
+            entries,
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self::from_triples(n, n, (0..n).map(|i| (i, i, 1.0)))
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.count() as usize
+    }
+
+    /// The transpose — a pure map.
+    pub fn transpose(&self) -> SparseMatrix {
+        SparseMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            entries: self.entries.map(|(r, c, v)| (*c, *r, *v)),
+        }
+    }
+
+    /// Element-wise scaling — a pure map.
+    pub fn scale(&self, s: f64) -> SparseMatrix {
+        SparseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            entries: self
+                .entries
+                .map(|(r, c, v)| (*r, *c, *v * s))
+                .with_filter(|(_, _, v)| *v != 0.0),
+        }
+    }
+
+    /// Matrix sum — bag union then per-coordinate fold.
+    pub fn add(&self, other: &SparseMatrix) -> SparseMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        SparseMatrix::from_triples(
+            self.rows,
+            self.cols,
+            self.entries.plus(&other.entries).fetch(),
+        )
+    }
+
+    /// Matrix–vector product: the comprehension
+    /// `for ((r,c,v) <- M; (i,x) <- xs; if c == i) yield (r, v*x)`
+    /// followed by a per-row sum.
+    pub fn matvec(&self, x: &SparseVector) -> SparseVector {
+        assert_eq!(self.cols, x.dim, "dimension mismatch");
+        let xs: HashMap<usize, f64> = x.entries.iter().copied().collect();
+        let products = self.entries.flat_map(|(r, c, v)| match xs.get(c) {
+            Some(xv) => DataBag::of((*r, *v * *xv)),
+            None => DataBag::empty(),
+        });
+        let entries = products
+            .group_by(|(r, _)| *r)
+            .map(|g| (g.key, g.values.sum_by(|(_, p)| *p)))
+            .with_filter(|(_, v)| *v != 0.0);
+        SparseVector {
+            dim: self.rows,
+            entries,
+        }
+    }
+
+    /// Matrix–matrix product: join on the shared dimension, then the
+    /// `(row, col)`-keyed sum — the canonical groupBy+fold shape.
+    pub fn matmul(&self, other: &SparseMatrix) -> SparseMatrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut by_row: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
+        for (r, c, v) in other.entries.iter() {
+            by_row.entry(*r).or_default().push((*c, *v));
+        }
+        let products = self.entries.flat_map(|(i, k, a)| match by_row.get(k) {
+            Some(row) => DataBag::from_seq(row.iter().map(|(j, b)| (*i, *j, *a * *b))),
+            None => DataBag::empty(),
+        });
+        SparseMatrix::from_triples(self.rows, other.cols, products.fetch())
+    }
+
+    /// Frobenius norm — a single fold.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.entries.sum_by(|(_, _, v)| v * v).sqrt()
+    }
+
+    /// Densifies into a row-major vector (tests / small outputs).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; self.cols]; self.rows];
+        for (r, c, v) in self.entries.iter() {
+            out[*r][*c] = *v;
+        }
+        out
+    }
+}
+
+impl SparseVector {
+    /// Builds a vector from `(index, value)` pairs (duplicates sum).
+    pub fn from_pairs(dim: usize, pairs: impl IntoIterator<Item = (usize, f64)>) -> Self {
+        let raw = DataBag::from_seq(pairs);
+        for (i, _) in raw.iter() {
+            assert!(*i < dim, "index {i} out of bounds");
+        }
+        let entries = raw
+            .group_by(|(i, _)| *i)
+            .map(|g| (g.key, g.values.sum_by(|(_, v)| *v)))
+            .with_filter(|(_, v)| *v != 0.0);
+        SparseVector { dim, entries }
+    }
+
+    /// A dense vector of ones (PageRank-style starting point).
+    pub fn ones(dim: usize) -> Self {
+        Self::from_pairs(dim, (0..dim).map(|i| (i, 1.0)))
+    }
+
+    /// Dot product — join on indexes, fold the products.
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        assert_eq!(self.dim, other.dim);
+        let rhs: HashMap<usize, f64> = other.entries.iter().copied().collect();
+        self.entries
+            .sum_by(|(i, v)| v * rhs.get(i).copied().unwrap_or(0.0))
+    }
+
+    /// Euclidean norm — a fold.
+    pub fn norm(&self) -> f64 {
+        self.entries.sum_by(|(_, v)| v * v).sqrt()
+    }
+
+    /// Densifies.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for (i, v) in self.entries.iter() {
+            out[*i] = *v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> SparseMatrix {
+        // [1 2]
+        // [0 3]
+        SparseMatrix::from_triples(2, 2, [(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)])
+    }
+
+    #[test]
+    fn duplicates_sum_and_zeros_drop() {
+        let a = SparseMatrix::from_triples(2, 2, [(0, 0, 1.0), (0, 0, 2.0), (1, 1, 0.0)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.to_dense(), vec![vec![3.0, 0.0], vec![0.0, 0.0]]);
+    }
+
+    #[test]
+    fn matvec_matches_dense_arithmetic() {
+        let x = SparseVector::from_pairs(2, [(0, 10.0), (1, 100.0)]);
+        let y = m().matvec(&x);
+        assert_eq!(y.to_dense(), vec![210.0, 300.0]);
+    }
+
+    #[test]
+    fn matmul_matches_dense_arithmetic() {
+        let b = SparseMatrix::from_triples(2, 2, [(0, 1, 1.0), (1, 0, 1.0)]); // swap
+        let ab = m().matmul(&b);
+        assert_eq!(ab.to_dense(), vec![vec![2.0, 1.0], vec![3.0, 0.0]]);
+    }
+
+    #[test]
+    fn identity_is_neutral_for_matmul() {
+        let a = m();
+        let i = SparseMatrix::identity(2);
+        assert_eq!(a.matmul(&i).to_dense(), a.to_dense());
+        assert_eq!(i.matmul(&a).to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = m();
+        assert_eq!(a.transpose().transpose().to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = m();
+        let sum = a.add(&a.scale(-1.0));
+        assert_eq!(sum.nnz(), 0, "A + (-A) = 0");
+        assert_eq!(a.scale(2.0).to_dense()[0][1], 4.0);
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let v = SparseVector::from_pairs(3, [(0, 3.0), (2, 4.0)]);
+        assert_eq!(v.norm(), 5.0);
+        let w = SparseVector::from_pairs(3, [(0, 1.0), (1, 9.0)]);
+        assert_eq!(v.dot(&w), 3.0);
+        assert!((m().frobenius_norm() - (1.0f64 + 4.0 + 9.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenvector() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1; the dominant eigenvector
+        // is (1, 1)/√2.
+        let a =
+            SparseMatrix::from_triples(2, 2, [(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 2.0)]);
+        let mut x = SparseVector::from_pairs(2, [(0, 1.0), (1, 0.5)]);
+        for _ in 0..50 {
+            let y = a.matvec(&x);
+            let n = y.norm();
+            x = SparseVector::from_pairs(
+                2,
+                y.to_dense()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| (i, v / n)),
+            );
+        }
+        let d = x.to_dense();
+        assert!((d[0] - d[1]).abs() < 1e-6, "{d:?}");
+    }
+}

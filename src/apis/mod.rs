@@ -1,0 +1,12 @@
+//! Domain-specific APIs layered on the `DataBag` abstraction — the paper's
+//! stated future work (§7: *"We are developing linear algebra and graph
+//! processing APIs on top of the DataBag API"*).
+//!
+//! Both APIs are thin, domain-agnostic layers: [`graph`] expresses
+//! vertex-centric iteration through `StatefulBag` point-wise updates exactly
+//! as Section 3.1 prescribes, and [`linalg`] represents sparse matrices as
+//! bags of coordinate triples whose operations are comprehensions and folds
+//! — so everything they do stays inside the optimizable core language.
+
+pub mod graph;
+pub mod linalg;

@@ -1,0 +1,190 @@
+//! Micro-scale assertions of the cost-model effects behind every figure:
+//! each paper experiment's qualitative claim, checked as a fast test. (The
+//! paper-scale sweeps live in `emma-bench`; these keep the directions locked
+//! under refactoring.)
+
+mod common;
+
+use emma::algorithms::{groupagg, spam};
+use emma::prelude::*;
+use emma_datagen::emails::{classifiers, EmailSpec};
+use emma_datagen::KeyDistribution;
+
+fn sim_secs(program: &Program, catalog: &Catalog, flags: &OptimizerFlags, engine: &Engine) -> f64 {
+    let compiled = parallelize(program, flags);
+    engine
+        .run(&compiled, catalog)
+        .expect("engine run")
+        .stats
+        .simulated_secs
+}
+
+fn workflow() -> (Program, Catalog) {
+    let spec = EmailSpec {
+        emails: 600,
+        blacklist: 60,
+        ip_domain: 600,
+        body_bytes: 4_000,
+        info_bytes: 2_000,
+        seed: 13,
+    };
+    (spam::program(classifiers(3)), spam::catalog(&spec))
+}
+
+#[test]
+fn fig4_direction_caching_dominates_and_baseline_loses() {
+    let (program, catalog) = workflow();
+    let engine = Engine::sparrow();
+    let baseline = sim_secs(
+        &program,
+        &catalog,
+        &OptimizerFlags::all()
+            .with_unnest_exists(false)
+            .with_caching(false)
+            .with_partition_pulling(false),
+        &engine,
+    );
+    let unnest = sim_secs(
+        &program,
+        &catalog,
+        &OptimizerFlags::all()
+            .with_caching(false)
+            .with_partition_pulling(false),
+        &engine,
+    );
+    let cached = sim_secs(
+        &program,
+        &catalog,
+        &OptimizerFlags::all().with_partition_pulling(false),
+        &engine,
+    );
+    let full = sim_secs(&program, &catalog, &OptimizerFlags::all(), &engine);
+    assert!(unnest < baseline, "unnesting helps: {unnest} < {baseline}");
+    assert!(cached < unnest, "caching helps more: {cached} < {unnest}");
+    assert!(full <= cached * 1.05, "partition+cache at least as good");
+}
+
+#[test]
+fn fig4_direction_flink_gains_more_from_unnesting() {
+    let (program, catalog) = workflow();
+    let baseline_flags = OptimizerFlags::all()
+        .with_unnest_exists(false)
+        .with_caching(false)
+        .with_partition_pulling(false);
+    let unnest_flags = OptimizerFlags::all()
+        .with_caching(false)
+        .with_partition_pulling(false);
+    let spark = Engine::sparrow();
+    let flink = Engine::flamingo();
+    let spark_speedup = sim_secs(&program, &catalog, &baseline_flags, &spark)
+        / sim_secs(&program, &catalog, &unnest_flags, &spark);
+    let flink_speedup = sim_secs(&program, &catalog, &baseline_flags, &flink)
+        / sim_secs(&program, &catalog, &unnest_flags, &flink);
+    assert!(
+        flink_speedup > spark_speedup,
+        "flink {flink_speedup:.2}x vs spark {spark_speedup:.2}x"
+    );
+}
+
+#[test]
+fn fig5_direction_pareto_punishes_unfused_spark_hardest() {
+    let program = groupagg::program();
+    let spec = emma_engine::ClusterSpec::paper_scaled().with_mem_per_worker(64 * 1024);
+    let engine = Engine::new(spec, Personality::sparrow());
+    let fused = OptimizerFlags::all();
+    let unfused = OptimizerFlags::all().with_fold_group_fusion(false);
+    let mut ratios = Vec::new();
+    for dist in KeyDistribution::all() {
+        let catalog = groupagg::catalog(20_000, 200, dist, 3);
+        let f = sim_secs(&program, &catalog, &fused, &engine);
+        let u = sim_secs(&program, &catalog, &unfused, &engine);
+        assert!(u > f, "{}: unfused {u} must exceed fused {f}", dist.name());
+        ratios.push((dist, u / f));
+    }
+    let ratio_of = |d: KeyDistribution| ratios.iter().find(|(x, _)| *x == d).unwrap().1;
+    assert!(
+        ratio_of(KeyDistribution::Pareto) > ratio_of(KeyDistribution::Uniform) * 2.0,
+        "hot-key skew must dominate: {ratios:?}"
+    );
+}
+
+#[test]
+fn fig5_direction_flink_degrades_gracefully_vs_spark_on_skew() {
+    let program = groupagg::program();
+    let spec = emma_engine::ClusterSpec::paper_scaled().with_mem_per_worker(64 * 1024);
+    let catalog = groupagg::catalog(20_000, 200, KeyDistribution::Pareto, 3);
+    let unfused = OptimizerFlags::all().with_fold_group_fusion(false);
+    let spark = sim_secs(
+        &program,
+        &catalog,
+        &unfused,
+        &Engine::new(spec, Personality::sparrow()),
+    );
+    let flink = sim_secs(
+        &program,
+        &catalog,
+        &unfused,
+        &Engine::new(spec, Personality::flamingo()),
+    );
+    assert!(
+        spark > flink * 3.0,
+        "hash-agg collapse: spark {spark} ≫ flink {flink}"
+    );
+}
+
+#[test]
+fn iterative_direction_spark_caching_beats_flink_caching() {
+    // Flink caches to HDFS: the re-read eats most of the benefit.
+    let gspec = emma_datagen::graph::GraphSpec {
+        vertices: 4_000,
+        avg_degree: 10,
+        ..Default::default()
+    };
+    let params = emma::algorithms::pagerank::PagerankParams {
+        iterations: 6,
+        num_pages: gspec.vertices,
+        ..Default::default()
+    };
+    let program = emma::algorithms::pagerank::program(&params);
+    let catalog = emma::algorithms::pagerank::catalog(&gspec);
+    let nocache = OptimizerFlags::all()
+        .with_caching(false)
+        .with_partition_pulling(false);
+    let cache = OptimizerFlags::all();
+    let spark_gain = sim_secs(&program, &catalog, &nocache, &Engine::sparrow())
+        / sim_secs(&program, &catalog, &cache, &Engine::sparrow());
+    let flink_gain = sim_secs(&program, &catalog, &nocache, &Engine::flamingo())
+        / sim_secs(&program, &catalog, &cache, &Engine::flamingo());
+    assert!(
+        spark_gain > flink_gain,
+        "spark {spark_gain:.2}x vs flink {flink_gain:.2}x"
+    );
+}
+
+#[test]
+fn tpch_direction_logical_optimizations_are_the_difference() {
+    let catalog = emma::algorithms::tpch::catalog(&emma_datagen::tpch::TpchSpec {
+        scale: 2.0,
+        seed: 3,
+    });
+    let spec = emma_engine::ClusterSpec::paper_scaled().with_mem_per_worker(32 * 1024);
+    let engine = Engine::new(spec, Personality::sparrow());
+    for program in [
+        emma::algorithms::tpch::q1_program(),
+        emma::algorithms::tpch::q4_program(),
+    ] {
+        let opt = sim_secs(&program, &catalog, &OptimizerFlags::all(), &engine);
+        let unopt = sim_secs(
+            &program,
+            &catalog,
+            &OptimizerFlags::all()
+                .with_fold_group_fusion(false)
+                .with_unnest_exists(false),
+            &engine,
+        );
+        assert!(
+            unopt > opt * 5.0,
+            "logical optimizations must matter: {unopt} vs {opt}"
+        );
+    }
+}

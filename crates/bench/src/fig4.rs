@@ -38,6 +38,7 @@ fn flags_for(config: usize) -> OptimizerFlags {
         fold_group_fusion: true,
         caching: false,
         partition_pulling: false,
+        pipeline_fusion: true,
     };
     match config {
         0 | 1 => base,

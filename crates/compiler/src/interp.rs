@@ -60,9 +60,15 @@ impl Catalog {
 
 /// A lexical environment: a base scope (driver variables / broadcasts) plus a
 /// stack of lambda-local bindings.
+///
+/// Local binding names are borrowed from the expressions being evaluated
+/// (lambda parameter lists live at least as long as any evaluation over
+/// them), so pushing a binding is allocation-free — this sits on the
+/// per-row, per-operator hot path of both the reference interpreter and the
+/// engine's fused pipelines.
 pub struct Env<'a> {
     base: &'a HashMap<String, Value>,
-    locals: Vec<(String, Value)>,
+    locals: Vec<(&'a str, Value)>,
 }
 
 impl<'a> Env<'a> {
@@ -79,14 +85,14 @@ impl<'a> Env<'a> {
         self.locals
             .iter()
             .rev()
-            .find(|(n, _)| n == name)
+            .find(|(n, _)| *n == name)
             .map(|(_, v)| v)
             .or_else(|| self.base.get(name))
             .ok_or_else(|| ValueError::UnboundVariable(name.to_string()))
     }
 
-    fn push(&mut self, name: &str, value: Value) {
-        self.locals.push((name.to_string(), value));
+    fn push(&mut self, name: &'a str, value: Value) {
+        self.locals.push((name, value));
     }
 
     fn pop(&mut self, n: usize) {
@@ -95,9 +101,9 @@ impl<'a> Env<'a> {
 }
 
 /// Evaluates a scalar expression.
-pub fn eval_scalar(
-    e: &ScalarExpr,
-    env: &mut Env<'_>,
+pub fn eval_scalar<'a>(
+    e: &'a ScalarExpr,
+    env: &mut Env<'a>,
     catalog: &Catalog,
 ) -> Result<Value, ValueError> {
     match e {
@@ -153,10 +159,10 @@ pub fn eval_scalar(
 }
 
 /// Applies a reified fold to a slice of elements.
-pub fn eval_fold(
-    fold: &FoldOp,
+pub fn eval_fold<'a>(
+    fold: &'a FoldOp,
     elems: &[Value],
-    env: &mut Env<'_>,
+    env: &mut Env<'a>,
     catalog: &Catalog,
 ) -> Result<Value, ValueError> {
     let mut acc = eval_scalar(&fold.zero, env, catalog)?;
@@ -168,10 +174,10 @@ pub fn eval_fold(
 }
 
 /// Applies a lambda to argument values.
-pub fn eval_lambda(
-    lam: &Lambda,
+pub fn eval_lambda<'a>(
+    lam: &'a Lambda,
     args: &[Value],
-    env: &mut Env<'_>,
+    env: &mut Env<'a>,
     catalog: &Catalog,
 ) -> Result<Value, ValueError> {
     assert_eq!(lam.params.len(), args.len(), "lambda arity mismatch");
@@ -183,10 +189,27 @@ pub fn eval_lambda(
     out
 }
 
+/// Evaluates a bag expression with one element binding in scope — the
+/// engine's flatMap bodies (`param` bound to the current row). Equivalent
+/// to wrapping the body in a one-parameter lambda, without constructing
+/// that lambda per row.
+pub fn eval_bag_with_binding<'a>(
+    body: &'a BagExpr,
+    param: &'a str,
+    arg: Value,
+    env: &mut Env<'a>,
+    catalog: &Catalog,
+) -> Result<Vec<Value>, ValueError> {
+    env.push(param, arg);
+    let out = eval_bag(body, env, catalog);
+    env.pop(1);
+    out
+}
+
 /// Evaluates a bag expression to its elements.
-pub fn eval_bag(
-    b: &BagExpr,
-    env: &mut Env<'_>,
+pub fn eval_bag<'a>(
+    b: &'a BagExpr,
+    env: &mut Env<'a>,
     catalog: &Catalog,
 ) -> Result<Vec<Value>, ValueError> {
     match b {

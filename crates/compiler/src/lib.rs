@@ -43,6 +43,7 @@ pub mod fusion;
 pub mod interp;
 pub mod lower;
 pub mod physical;
+pub mod physical_pipeline;
 pub mod pipeline;
 pub mod plan;
 pub mod program;

@@ -1,0 +1,303 @@
+//! Physical pipeline fusion — collapsing maximal chains of narrow operators
+//! into single per-partition passes.
+//!
+//! Narrow operators (`Map`, `Filter`, `FlatMap`) neither move data between
+//! partitions nor look across elements, so a chain of them can run as one
+//! loop over each partition with no intermediate collection materialized
+//! between steps. This is what Flink's operator chaining and Spark's
+//! pipelined narrow stages do inside one task; here it is made explicit in
+//! the plan language as a [`Plan::Pipeline`] node so the engine can execute
+//! (and meter) the fused pass directly.
+//!
+//! The pass runs after caching and partition pulling: `Cache` and
+//! `Repartition` nodes act as fusion barriers (a cache point must
+//! materialize its input; a repartition moves rows), as do all wide
+//! operators. Chains of length one are left untouched — a `Pipeline` always
+//! absorbs at least two operators.
+//!
+//! Fusion is purely structural: the stages carry the exact UDFs of the nodes
+//! they replace, in upstream → downstream order, so the engine can reproduce
+//! the unfused semantics — including the simulated cost accounting —
+//! bit for bit.
+
+use crate::pipeline::{AuxDef, CRValue, CStmt, OptimizationReport};
+use crate::plan::{PipelineStage, Plan};
+
+/// Rewrites every plan embedded in the compiled body, fusing narrow chains.
+pub fn apply_pipeline_fusion(body: &mut [CStmt], report: &mut OptimizationReport) {
+    for stmt in body {
+        fuse_stmt(stmt, report);
+    }
+}
+
+fn fuse_stmt(stmt: &mut CStmt, report: &mut OptimizationReport) {
+    match stmt {
+        CStmt::Bind { value, .. } => match value {
+            CRValue::Bag(plan) => fuse_in_place(plan, report),
+            CRValue::Scalar { pre, .. } => fuse_aux(pre, report),
+        },
+        CStmt::While { pre, body, .. } => {
+            fuse_aux(pre, report);
+            apply_pipeline_fusion(body, report);
+        }
+        CStmt::ForEach { pre, body, .. } => {
+            fuse_aux(pre, report);
+            apply_pipeline_fusion(body, report);
+        }
+        CStmt::If {
+            pre,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            fuse_aux(pre, report);
+            apply_pipeline_fusion(then_branch, report);
+            apply_pipeline_fusion(else_branch, report);
+        }
+        CStmt::Write { plan, .. } => fuse_in_place(plan, report),
+        CStmt::StatefulCreate { plan, .. } => fuse_in_place(plan, report),
+        CStmt::StatefulUpdate { messages, .. } => fuse_in_place(messages, report),
+    }
+}
+
+fn fuse_aux(defs: &mut [AuxDef], report: &mut OptimizationReport) {
+    for def in defs {
+        fuse_in_place(&mut def.plan, report);
+    }
+}
+
+fn fuse_in_place(plan: &mut Plan, report: &mut OptimizationReport) {
+    let owned = std::mem::replace(plan, Plan::Literal { rows: vec![] });
+    *plan = fuse_plan(owned, report);
+}
+
+/// True if the node is a narrow, partition-local, per-element operator.
+fn is_narrow(plan: &Plan) -> bool {
+    matches!(
+        plan,
+        Plan::Map { .. } | Plan::Filter { .. } | Plan::FlatMap { .. }
+    )
+}
+
+/// Bottom-up fusion: collapse the maximal narrow chain rooted at `plan`
+/// (if it has ≥ 2 operators), then recurse below the chain.
+fn fuse_plan(plan: Plan, report: &mut OptimizationReport) -> Plan {
+    if is_narrow(&plan) {
+        // Walk down the chain, collecting stages downstream-first.
+        let mut rev_stages = Vec::new();
+        let mut cur = plan;
+        while is_narrow(&cur) {
+            cur = match cur {
+                Plan::Map { input, f } => {
+                    rev_stages.push(PipelineStage::Map { f });
+                    *input
+                }
+                Plan::Filter { input, p } => {
+                    rev_stages.push(PipelineStage::Filter { p });
+                    *input
+                }
+                Plan::FlatMap { input, param, body } => {
+                    rev_stages.push(PipelineStage::FlatMap { param, body });
+                    *input
+                }
+                _ => unreachable!("is_narrow admits only Map/Filter/FlatMap"),
+            };
+        }
+        let source = fuse_plan(cur, report);
+        if rev_stages.len() >= 2 {
+            report.pipelines_fused += 1;
+            report.pipeline_stages_fused += rev_stages.len();
+            rev_stages.reverse();
+            return Plan::Pipeline {
+                input: Box::new(source),
+                stages: rev_stages,
+            };
+        }
+        // A lone narrow operator: rebuild it unchanged over its fused input.
+        return match rev_stages.pop().expect("chain has one stage") {
+            PipelineStage::Map { f } => Plan::Map {
+                input: Box::new(source),
+                f,
+            },
+            PipelineStage::Filter { p } => Plan::Filter {
+                input: Box::new(source),
+                p,
+            },
+            PipelineStage::FlatMap { param, body } => Plan::FlatMap {
+                input: Box::new(source),
+                param,
+                body,
+            },
+        };
+    }
+    fuse_plan_below(plan, report)
+}
+
+/// Recurses into the children of a non-narrow node.
+fn fuse_plan_below(plan: Plan, report: &mut OptimizationReport) -> Plan {
+    match plan {
+        leaf @ (Plan::Source { .. }
+        | Plan::Literal { .. }
+        | Plan::RefBag { .. }
+        | Plan::OfScalar { .. }) => leaf,
+        Plan::Map { input, f } => Plan::Map {
+            input: Box::new(fuse_plan(*input, report)),
+            f,
+        },
+        Plan::Filter { input, p } => Plan::Filter {
+            input: Box::new(fuse_plan(*input, report)),
+            p,
+        },
+        Plan::FlatMap { input, param, body } => Plan::FlatMap {
+            input: Box::new(fuse_plan(*input, report)),
+            param,
+            body,
+        },
+        Plan::Join {
+            left,
+            right,
+            lkey,
+            rkey,
+            residual,
+            kind,
+            strategy,
+        } => Plan::Join {
+            left: Box::new(fuse_plan(*left, report)),
+            right: Box::new(fuse_plan(*right, report)),
+            lkey,
+            rkey,
+            residual,
+            kind,
+            strategy,
+        },
+        Plan::Cross { left, right } => Plan::Cross {
+            left: Box::new(fuse_plan(*left, report)),
+            right: Box::new(fuse_plan(*right, report)),
+        },
+        Plan::GroupBy { input, key } => Plan::GroupBy {
+            input: Box::new(fuse_plan(*input, report)),
+            key,
+        },
+        Plan::AggBy { input, key, fold } => Plan::AggBy {
+            input: Box::new(fuse_plan(*input, report)),
+            key,
+            fold,
+        },
+        Plan::Fold { input, fold } => Plan::Fold {
+            input: Box::new(fuse_plan(*input, report)),
+            fold,
+        },
+        Plan::Plus { left, right } => Plan::Plus {
+            left: Box::new(fuse_plan(*left, report)),
+            right: Box::new(fuse_plan(*right, report)),
+        },
+        Plan::Minus { left, right } => Plan::Minus {
+            left: Box::new(fuse_plan(*left, report)),
+            right: Box::new(fuse_plan(*right, report)),
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(fuse_plan(*input, report)),
+        },
+        Plan::Cache { input } => Plan::Cache {
+            input: Box::new(fuse_plan(*input, report)),
+        },
+        Plan::Repartition { input, key } => Plan::Repartition {
+            input: Box::new(fuse_plan(*input, report)),
+            key,
+        },
+        Plan::Pipeline { input, stages } => Plan::Pipeline {
+            input: Box::new(fuse_plan(*input, report)),
+            stages,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Lambda, ScalarExpr};
+
+    fn src() -> Plan {
+        Plan::Source { name: "xs".into() }
+    }
+
+    fn map_over(input: Plan) -> Plan {
+        Plan::Map {
+            input: Box::new(input),
+            f: Lambda::new(["x"], ScalarExpr::var("x")),
+        }
+    }
+
+    fn filter_over(input: Plan) -> Plan {
+        Plan::Filter {
+            input: Box::new(input),
+            p: Lambda::new(["x"], ScalarExpr::lit(true)),
+        }
+    }
+
+    #[test]
+    fn fuses_map_filter_chain() {
+        let mut report = OptimizationReport::default();
+        let fused = fuse_plan(filter_over(map_over(src())), &mut report);
+        match &fused {
+            Plan::Pipeline { input, stages } => {
+                assert_eq!(stages.len(), 2);
+                assert_eq!(stages[0].op_name(), "Map");
+                assert_eq!(stages[1].op_name(), "Filter");
+                assert_eq!(**input, src());
+            }
+            other => panic!("expected Pipeline, got {other:?}"),
+        }
+        assert_eq!(report.pipelines_fused, 1);
+        assert_eq!(report.pipeline_stages_fused, 2);
+    }
+
+    #[test]
+    fn lone_narrow_op_untouched() {
+        let mut report = OptimizationReport::default();
+        let plan = map_over(src());
+        let fused = fuse_plan(plan.clone(), &mut report);
+        assert_eq!(fused, plan);
+        assert_eq!(report.pipelines_fused, 0);
+    }
+
+    #[test]
+    fn cache_is_a_fusion_barrier() {
+        let mut report = OptimizationReport::default();
+        // map ∘ cache ∘ filter ∘ map: only filter∘map below the cache... no —
+        // the cache splits the chain into singletons above and a pair below.
+        let plan = map_over(Plan::Cache {
+            input: Box::new(filter_over(map_over(src()))),
+        });
+        let fused = fuse_plan(plan, &mut report);
+        match &fused {
+            Plan::Map { input, .. } => match &**input {
+                Plan::Cache { input } => {
+                    assert!(matches!(&**input, Plan::Pipeline { stages, .. } if stages.len() == 2));
+                }
+                other => panic!("expected Cache, got {other:?}"),
+            },
+            other => panic!("expected Map above the cache, got {other:?}"),
+        }
+        assert_eq!(report.pipelines_fused, 1);
+    }
+
+    #[test]
+    fn fuses_on_both_sides_of_a_join() {
+        let mut report = OptimizationReport::default();
+        let plan = Plan::Cross {
+            left: Box::new(filter_over(map_over(src()))),
+            right: Box::new(map_over(filter_over(Plan::Source { name: "ys".into() }))),
+        };
+        let fused = fuse_plan(plan, &mut report);
+        match &fused {
+            Plan::Cross { left, right } => {
+                assert!(matches!(&**left, Plan::Pipeline { .. }));
+                assert!(matches!(&**right, Plan::Pipeline { .. }));
+            }
+            other => panic!("expected Cross, got {other:?}"),
+        }
+        assert_eq!(report.pipelines_fused, 2);
+        assert_eq!(report.pipeline_stages_fused, 4);
+    }
+}

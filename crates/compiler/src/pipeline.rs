@@ -41,6 +41,10 @@ pub struct OptimizerFlags {
     /// Pull enforced partitionings behind control-flow barriers
     /// (Section 4.4, "Partition Pulling").
     pub partition_pulling: bool,
+    /// Fuse maximal chains of narrow operators (map/filter/flatMap) into
+    /// single per-partition [`Plan::Pipeline`] passes with no intermediate
+    /// materialization.
+    pub pipeline_fusion: bool,
 }
 
 impl OptimizerFlags {
@@ -53,6 +57,7 @@ impl OptimizerFlags {
             fold_group_fusion: true,
             caching: true,
             partition_pulling: true,
+            pipeline_fusion: true,
         }
     }
 
@@ -66,14 +71,16 @@ impl OptimizerFlags {
             fold_group_fusion: false,
             caching: false,
             partition_pulling: false,
+            pipeline_fusion: false,
         }
     }
 
-    /// Logical optimizations only (no caching / partition pulling).
+    /// Logical optimizations only (no caching / partition pulling / fusion).
     pub fn logical_only() -> Self {
         OptimizerFlags {
             caching: false,
             partition_pulling: false,
+            pipeline_fusion: false,
             ..Self::all()
         }
     }
@@ -113,6 +120,12 @@ impl OptimizerFlags {
         self.normalization = on;
         self
     }
+
+    /// Builder-style toggle.
+    pub fn with_pipeline_fusion(mut self, on: bool) -> Self {
+        self.pipeline_fusion = on;
+        self
+    }
 }
 
 impl Default for OptimizerFlags {
@@ -137,6 +150,10 @@ pub struct OptimizationReport {
     pub cached: Vec<String>,
     /// Bags that received an enforced partitioning (`name` per pull).
     pub partitions_pulled: Vec<String>,
+    /// Narrow-operator chains collapsed into `Plan::Pipeline` nodes.
+    pub pipelines_fused: usize,
+    /// Total narrow operators absorbed into those pipelines.
+    pub pipeline_stages_fused: usize,
 }
 
 impl OptimizationReport {
@@ -311,6 +328,9 @@ pub fn parallelize(p: &Program, flags: &OptimizerFlags) -> CompiledProgram {
     }
     if flags.partition_pulling {
         physical::apply_partition_pulling(&mut body, &mut report);
+    }
+    if flags.pipeline_fusion {
+        crate::physical_pipeline::apply_pipeline_fusion(&mut body, &mut report);
     }
 
     CompiledProgram { body, report }

@@ -39,6 +39,41 @@ pub enum JoinStrategy {
     Repartition,
 }
 
+/// One narrow (per-element, partition-local) operator fused into a
+/// [`Plan::Pipeline`]. Stages carry the same UDFs as the standalone
+/// `Map` / `Filter` / `FlatMap` nodes they replace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineStage {
+    /// Element-wise transformation (a fused `Plan::Map`).
+    Map {
+        /// The UDF.
+        f: Lambda,
+    },
+    /// Element filter (a fused `Plan::Filter`).
+    Filter {
+        /// Keep-predicate.
+        p: Lambda,
+    },
+    /// Element-to-bag expansion (a fused `Plan::FlatMap`).
+    FlatMap {
+        /// Bound element variable.
+        param: String,
+        /// Bag-valued body.
+        body: BagExpr,
+    },
+}
+
+impl PipelineStage {
+    /// Operator name of the standalone node this stage was fused from.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            PipelineStage::Map { .. } => "Map",
+            PipelineStage::Filter { .. } => "Filter",
+            PipelineStage::FlatMap { .. } => "FlatMap",
+        }
+    }
+}
+
 /// An abstract dataflow plan node.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Plan {
@@ -165,6 +200,15 @@ pub enum Plan {
         /// Partitioning key.
         key: Lambda,
     },
+    /// A maximal chain of narrow operators fused by the physical-pipeline
+    /// pass: each partition is processed in one pass with no intermediate
+    /// materialization between stages. Stage order is upstream → downstream.
+    Pipeline {
+        /// Upstream plan feeding the first stage.
+        input: Box<Plan>,
+        /// At least two fused narrow stages.
+        stages: Vec<PipelineStage>,
+    },
 }
 
 impl Plan {
@@ -183,7 +227,8 @@ impl Plan {
             | Plan::Fold { input, .. }
             | Plan::Distinct { input }
             | Plan::Cache { input }
-            | Plan::Repartition { input, .. } => vec![input],
+            | Plan::Repartition { input, .. }
+            | Plan::Pipeline { input, .. } => vec![input],
             Plan::Join { left, right, .. }
             | Plan::Cross { left, right }
             | Plan::Plus { left, right }
@@ -236,6 +281,16 @@ impl Plan {
                 collect_scalar_bag_refs(&fold.uni.body, &mut out);
             }
             Plan::Repartition { key, .. } => collect_scalar_bag_refs(&key.body, &mut out),
+            Plan::Pipeline { stages, .. } => {
+                for stage in stages {
+                    match stage {
+                        PipelineStage::Map { f } | PipelineStage::Filter { p: f } => {
+                            collect_scalar_bag_refs(&f.body, &mut out)
+                        }
+                        PipelineStage::FlatMap { body, .. } => collect_bagexpr_refs(body, &mut out),
+                    }
+                }
+            }
             _ => {}
         });
         out
@@ -279,6 +334,20 @@ impl Plan {
                     lams.push(&fold.uni);
                 }
                 Plan::OfScalar { expr } => out.extend(expr.free_vars()),
+                Plan::Pipeline { stages, .. } => {
+                    for stage in stages {
+                        match stage {
+                            PipelineStage::Map { f } | PipelineStage::Filter { p: f } => {
+                                lams.push(f)
+                            }
+                            PipelineStage::FlatMap { param, body } => {
+                                let mut fv = body.free_vars();
+                                fv.remove(param);
+                                out.extend(fv);
+                            }
+                        }
+                    }
+                }
                 _ => {}
             }
             for lam in lams {
@@ -319,6 +388,7 @@ impl Plan {
             Plan::Distinct { .. } => "Distinct",
             Plan::Cache { .. } => "Cache",
             Plan::Repartition { .. } => "Repartition",
+            Plan::Pipeline { .. } => "Pipeline",
         }
     }
 
@@ -336,6 +406,10 @@ impl Plan {
                 }
                 Plan::AggBy { fold, .. } => format!("AggBy\nfold[{:?}]", fold.kind),
                 Plan::Fold { fold, .. } => format!("Fold\n[{:?}]", fold.kind),
+                Plan::Pipeline { stages, .. } => {
+                    let names: Vec<&str> = stages.iter().map(|s| s.op_name()).collect();
+                    format!("Pipeline\n{}", names.join("→"))
+                }
                 other => other.op_name().to_string(),
             }
         }
@@ -355,12 +429,17 @@ impl Plan {
         format!("digraph plan {{\n  rankdir=BT;\n{body}}}\n")
     }
 
-    /// Counts nodes with the given operator name.
+    /// Counts nodes with the given operator name. Operators absorbed into a
+    /// fused [`Plan::Pipeline`] still count under their original name —
+    /// fusion changes execution strategy, not the plan's logical shape.
     pub fn count_ops(&self, name: &str) -> usize {
         let mut n = 0;
         self.visit(&mut |p| {
             if p.op_name() == name {
                 n += 1;
+            }
+            if let Plan::Pipeline { stages, .. } = p {
+                n += stages.iter().filter(|s| s.op_name() == name).count();
             }
         });
         n
@@ -468,6 +547,10 @@ impl fmt::Display for Plan {
                 Plan::Distinct { .. } => writeln!(f, "{pad}Distinct")?,
                 Plan::Cache { .. } => writeln!(f, "{pad}Cache")?,
                 Plan::Repartition { key, .. } => writeln!(f, "{pad}Repartition({key})")?,
+                Plan::Pipeline { stages, .. } => {
+                    let names: Vec<&str> = stages.iter().map(|s| s.op_name()).collect();
+                    writeln!(f, "{pad}Pipeline[{}]", names.join(" → "))?
+                }
             }
             for c in p.children() {
                 go(c, f, indent + 1)?;

@@ -482,7 +482,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vs = vec![
+        let mut vs = [
             Value::Float(2.5),
             Value::Int(1),
             Value::Null,

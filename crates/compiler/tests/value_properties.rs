@@ -106,7 +106,7 @@ fn nan_is_a_normal_citizen() {
     assert_eq!(nan, Value::Float(f64::NAN));
     assert_eq!(hash_of(&nan), hash_of(&Value::Float(f64::NAN)));
     // Sorting a vector containing NaN terminates and is deterministic.
-    let mut v = vec![Value::Float(1.0), nan.clone(), Value::Float(-1.0)];
+    let mut v = [Value::Float(1.0), nan.clone(), Value::Float(-1.0)];
     v.sort();
     assert_eq!(v.len(), 3);
 }

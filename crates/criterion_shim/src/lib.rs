@@ -1,0 +1,289 @@
+//! Offline in-tree shim for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this crate implements the
+//! subset of criterion the workspace's benches use: [`Criterion`] with
+//! `bench_function` / `benchmark_group`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], `sample_size`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark runs a short calibration pass to pick
+//! an iteration count that lasts roughly [`TARGET_SAMPLE_NANOS`] per sample,
+//! then takes `sample_size` timed samples and reports mean / min / max
+//! nanoseconds per iteration on stdout. Results are also recorded in a
+//! process-wide registry ([`take_measurements`]) so harness binaries can
+//! export machine-readable summaries — the real crate writes
+//! `target/criterion/` instead.
+
+#![warn(missing_docs)]
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Calibration target per timed sample, in nanoseconds.
+pub const TARGET_SAMPLE_NANOS: u64 = 25_000_000;
+
+/// One finished benchmark's summary statistics.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Fully-qualified benchmark id (`group/function`).
+    pub id: String,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+static RESULTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded so far in this process.
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut *RESULTS.lock().unwrap())
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// iteration regardless of the variant, which is timing-equivalent to
+/// `PerIteration` (setup time is excluded from the measurement either way).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; times the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled in by `iter`/`iter_batched`.
+    result: Option<(f64, f64, f64, usize, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, excluding nothing (the routine is the whole
+    /// measured unit).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes long enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_nanos() as u64 >= TARGET_SAMPLE_NANOS || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(&per_iter, iters);
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_nanos() as u64 >= TARGET_SAMPLE_NANOS || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(&per_iter, iters);
+    }
+
+    fn record(&mut self, per_iter: &[f64], iters: u64) {
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        self.result = Some((mean, min, max, per_iter.len(), iters));
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(id: String, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut bencher);
+    let Some((mean, min, max, samples, iters)) = bencher.result else {
+        eprintln!("{id}: benchmark closure never called iter()");
+        return;
+    };
+    println!(
+        "{id:<40} time: [{} {} {}]  ({samples} samples x {iters} iters)",
+        human_ns(min),
+        human_ns(mean),
+        human_ns(max)
+    );
+    RESULTS.lock().unwrap().push(Measurement {
+        id,
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+        samples,
+        iters_per_sample: iters,
+    });
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref().to_string(), self.default_sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Accepted for CLI compatibility; the shim has no argv filtering.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the measurement time budget (accepted, unused: the shim
+    /// calibrates per sample instead).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups run.
+    pub fn final_summary(&mut self) {
+        let results = RESULTS.lock().unwrap();
+        println!("{} benchmark(s) complete", results.len());
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark inside this group (id becomes `group/function`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            format!("{}/{}", self.name, id.as_ref()),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}

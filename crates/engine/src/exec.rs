@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use emma_compiler::bag_expr::BagExpr;
 use emma_compiler::expr::{FoldOp, Lambda, ScalarExpr};
@@ -24,9 +24,13 @@ use emma_compiler::pipeline::{AuxDef, CRValue, CStmt, CompiledProgram};
 use emma_compiler::plan::{JoinKind, JoinStrategy, Plan};
 use emma_compiler::value::{Value, ValueError};
 
+use emma_compiler::plan::PipelineStage;
+
 use crate::cluster::{ClusterSpec, Personality};
 use crate::dataset::{value_hash, Partitioned, Partitioning};
 use crate::metrics::{ExecError, ExecStats};
+use crate::ordmap::InsertionMap;
+use crate::pool::{Parallelism, ParallelismMode};
 
 /// A lazily forced, optionally memoized dataflow binding — the paper's
 /// `Thunk[A]` (Fig. 3b, "Driver to Dataflows").
@@ -94,7 +98,20 @@ pub struct Engine {
     pub timeout_secs: Option<f64>,
     /// Driver loop-iteration safety cap.
     pub max_loop_iters: usize,
+    /// How per-partition work maps onto OS threads (see
+    /// [`ParallelismMode`]). The default routes everything through one
+    /// persistent worker pool per run.
+    pub parallelism_mode: ParallelismMode,
+    /// Worker-thread count override; `None` probes `available_parallelism`
+    /// once per run.
+    pub worker_threads: Option<usize>,
+    /// Minimum total row count before an operator fans out across threads.
+    pub parallelism_threshold: u64,
 }
+
+/// Default for [`Engine::parallelism_threshold`]: below this many rows the
+/// fan-out overhead outweighs the per-partition work.
+pub const DEFAULT_PARALLELISM_THRESHOLD: u64 = 4_096;
 
 impl Engine {
     /// Creates an engine.
@@ -104,6 +121,9 @@ impl Engine {
             personality,
             timeout_secs: None,
             max_loop_iters: 100_000,
+            parallelism_mode: ParallelismMode::Pool,
+            worker_threads: None,
+            parallelism_threshold: DEFAULT_PARALLELISM_THRESHOLD,
         }
     }
 
@@ -120,6 +140,27 @@ impl Engine {
     /// Sets a simulated-time budget (the paper uses a one-hour timeout).
     pub fn with_timeout(mut self, secs: f64) -> Self {
         self.timeout_secs = Some(secs);
+        self
+    }
+
+    /// Selects the thread-dispatch mode (persistent pool vs. the legacy
+    /// per-operator thread scopes).
+    pub fn with_parallelism_mode(mut self, mode: ParallelismMode) -> Self {
+        self.parallelism_mode = mode;
+        self
+    }
+
+    /// Overrides the worker-thread count (`None` = probe the machine once
+    /// per run).
+    pub fn with_worker_threads(mut self, threads: Option<usize>) -> Self {
+        self.worker_threads = threads;
+        self
+    }
+
+    /// Sets the minimum total row count before operators fan out across
+    /// threads.
+    pub fn with_parallelism_threshold(mut self, rows: u64) -> Self {
+        self.parallelism_threshold = rows;
         self
     }
 
@@ -146,6 +187,7 @@ impl Engine {
         prog: &CompiledProgram,
         catalog: &Catalog,
     ) -> Result<EngineRun, ExecError> {
+        let wall_start = std::time::Instant::now();
         let mut session = Session {
             engine: self,
             catalog,
@@ -153,6 +195,14 @@ impl Engine {
             stats: ExecStats::default(),
             writes: HashMap::new(),
             children_inclusive: 0.0,
+            children_wall_inclusive: 0.0,
+            // One worker pool (and one `available_parallelism` probe) for
+            // the whole run.
+            par: Parallelism::new(
+                self.parallelism_mode,
+                self.worker_threads,
+                self.parallelism_threshold,
+            ),
         };
         session.exec_stmts(&prog.body)?;
         let mut scalars = HashMap::new();
@@ -161,10 +211,12 @@ impl Engine {
                 scalars.insert(k.clone(), v.clone());
             }
         }
+        let mut stats = session.stats;
+        stats.wall_secs = wall_start.elapsed().as_secs_f64();
         Ok(EngineRun {
             writes: session.writes,
             scalars,
-            stats: session.stats,
+            stats,
         })
     }
 }
@@ -195,6 +247,12 @@ struct Session<'a> {
     /// the currently executing node's frame (drives the exclusive per-op
     /// attribution in `stats.op_secs`).
     children_inclusive: f64,
+    /// Wall-clock counterpart of `children_inclusive` (drives
+    /// `stats.op_wall_secs`).
+    children_wall_inclusive: f64,
+    /// Per-run parallel-execution context: dispatch mode, cached thread
+    /// count, row gate, and (in pool mode) the persistent worker pool.
+    par: Parallelism,
 }
 
 impl<'a> Session<'a> {
@@ -372,7 +430,7 @@ impl<'a> Session<'a> {
                 };
                 let base = self.eval_base_for_lambdas(&[message_key, update], &env)?;
                 let mut ev = Env::new(&base);
-                let mut st = cell.lock();
+                let mut st = cell.lock().unwrap();
                 let nparts = st.parts.len().max(1);
                 let mut delta_parts: Vec<Vec<Value>> = vec![Vec::new(); nparts];
                 let mut processed = 0u64;
@@ -494,20 +552,22 @@ impl<'a> Session<'a> {
     /// through their own `exec_plan` frames and subtracted).
     fn exec_plan(&mut self, plan: &Plan, env: &EnvSnapshot) -> Result<PlanResult, ExecError> {
         let before = self.stats.simulated_secs;
+        let wall_before = std::time::Instant::now();
         let saved_children = std::mem::replace(&mut self.children_inclusive, 0.0);
+        let saved_wall = std::mem::replace(&mut self.children_wall_inclusive, 0.0);
         let result = self.exec_plan_inner(plan, env);
         let inclusive = self.stats.simulated_secs - before;
         let exclusive = (inclusive - self.children_inclusive).max(0.0);
         *self.stats.op_secs.entry(plan.op_name()).or_insert(0.0) += exclusive;
         self.children_inclusive = saved_children + inclusive;
+        let wall_inclusive = wall_before.elapsed().as_secs_f64();
+        let wall_exclusive = (wall_inclusive - self.children_wall_inclusive).max(0.0);
+        *self.stats.op_wall_secs.entry(plan.op_name()).or_insert(0.0) += wall_exclusive;
+        self.children_wall_inclusive = saved_wall + wall_inclusive;
         result
     }
 
-    fn exec_plan_inner(
-        &mut self,
-        plan: &Plan,
-        env: &EnvSnapshot,
-    ) -> Result<PlanResult, ExecError> {
+    fn exec_plan_inner(&mut self, plan: &Plan, env: &EnvSnapshot) -> Result<PlanResult, ExecError> {
         self.check_budget()?;
         let spec = *self.spec();
         match plan {
@@ -551,7 +611,7 @@ impl<'a> Session<'a> {
                     Binding::Stateful(state) => {
                         // In-memory, already partitioned by key: a snapshot
                         // read costs memory-speed I/O only.
-                        let st = state.lock();
+                        let st = state.lock().unwrap();
                         let snap = st.snapshot(&st.key);
                         self.stats.charge_secs(
                             snap.total_bytes() as f64
@@ -570,22 +630,27 @@ impl<'a> Session<'a> {
                 let base = self.eval_base_for_lambdas(&[f], env)?;
                 self.charge_broadcast_scans(&f.body, &base, d.max_part_rows())?;
                 let catalog = self.catalog;
-                let parts = run_partitions(&d.parts, |rows| {
-                    let mut ev = Env::new(&base);
-                    rows.iter()
-                        .map(|row| {
-                            interp::eval_lambda(f, std::slice::from_ref(row), &mut ev, catalog)
-                        })
-                        .collect()
-                })
-                .map_err(ExecError::Eval)?;
+                let parts = self
+                    .par
+                    .run_rows(&d.parts, d.total_rows(), |rows| {
+                        let mut ev = Env::new(&base);
+                        rows.iter()
+                            .map(|row| {
+                                interp::eval_lambda(f, std::slice::from_ref(row), &mut ev, catalog)
+                            })
+                            .collect()
+                    })
+                    .map_err(ExecError::Eval)?;
                 self.charge_cpu_weighted(d.total_rows(), d.max_part_rows(), f.static_cost());
                 // Folds over *materialized group values* re-scan their data;
                 // folds over small per-record bags (e.g. a vertex's neighbor
                 // list carried through a join) do not — the charge applies
                 // only when this map consumes a grouping operator's output.
                 if consumes_grouped_rows(input) {
-                    self.charge_nested_bag_folds(count_nested_bag_folds(&f.body), &d);
+                    self.charge_nested_bag_folds(
+                        count_nested_bag_folds(&f.body),
+                        d.max_part_bytes(),
+                    );
                 }
                 Ok(PlanResult::Bag(Partitioned {
                     parts,
@@ -597,19 +662,21 @@ impl<'a> Session<'a> {
                 let base = self.eval_base_for_lambdas(&[p], env)?;
                 self.charge_broadcast_scans(&p.body, &base, d.max_part_rows())?;
                 let catalog = self.catalog;
-                let parts = run_partitions(&d.parts, |rows| {
-                    let mut ev = Env::new(&base);
-                    let mut out = Vec::new();
-                    for row in rows {
-                        if interp::eval_lambda(p, std::slice::from_ref(row), &mut ev, catalog)?
-                            .as_bool()?
-                        {
-                            out.push(row.clone());
+                let parts = self
+                    .par
+                    .run_rows(&d.parts, d.total_rows(), |rows| {
+                        let mut ev = Env::new(&base);
+                        let mut out = Vec::new();
+                        for row in rows {
+                            if interp::eval_lambda(p, std::slice::from_ref(row), &mut ev, catalog)?
+                                .as_bool()?
+                            {
+                                out.push(row.clone());
+                            }
                         }
-                    }
-                    Ok(out)
-                })
-                .map_err(ExecError::Eval)?;
+                        Ok(out)
+                    })
+                    .map_err(ExecError::Eval)?;
                 self.charge_cpu_weighted(d.total_rows(), d.max_part_rows(), p.static_cost());
                 // Filters preserve the physical layout.
                 Ok(PlanResult::Bag(Partitioned {
@@ -620,18 +687,31 @@ impl<'a> Session<'a> {
             Plan::FlatMap { input, param, body } => {
                 let d = self.exec_bag(input, env)?;
                 let base = self.eval_base_for_bag_exprs(&[body], env)?;
+                let catalog = self.catalog;
+                let results = self
+                    .par
+                    .run_wide(d.parts.len(), d.total_rows(), |pi| {
+                        let mut out = Vec::new();
+                        let mut ev = Env::new(&base);
+                        let mut produced = 0u64;
+                        for row in d.parts[pi].iter() {
+                            let inner = interp::eval_bag_with_binding(
+                                body,
+                                param,
+                                row.clone(),
+                                &mut ev,
+                                catalog,
+                            )?;
+                            produced += inner.len() as u64;
+                            out.extend(inner);
+                        }
+                        Ok((out, produced))
+                    })
+                    .map_err(ExecError::Eval)?;
                 let mut produced = 0u64;
                 let mut parts = Vec::with_capacity(d.parts.len());
-                for part in &d.parts {
-                    let mut out = Vec::new();
-                    let mut ev = Env::new(&base);
-                    for row in part.iter() {
-                        let inner =
-                            eval_bag_with_binding(body, param, row.clone(), &mut ev, self.catalog)
-                                .map_err(ExecError::Eval)?;
-                        produced += inner.len() as u64;
-                        out.extend(inner);
-                    }
+                for (out, p) in results {
+                    produced += p;
                     parts.push(Arc::new(out));
                 }
                 let weight = body.static_cost();
@@ -652,22 +732,24 @@ impl<'a> Session<'a> {
                 let zero = interp::eval_scalar(&fold.zero, &mut ev, self.catalog)
                     .map_err(ExecError::Eval)?;
                 // Fold each partition locally, ship partials, combine.
-                let mut partials = Vec::with_capacity(d.parts.len());
-                for part in &d.parts {
-                    let mut acc = zero.clone();
-                    for row in part.iter() {
-                        let s = interp::eval_lambda(
-                            &fold.sng,
-                            std::slice::from_ref(row),
-                            &mut ev,
-                            self.catalog,
-                        )
-                        .map_err(ExecError::Eval)?;
-                        acc = interp::eval_lambda(&fold.uni, &[acc, s], &mut ev, self.catalog)
-                            .map_err(ExecError::Eval)?;
-                    }
-                    partials.push(acc);
-                }
+                let catalog = self.catalog;
+                let partials = self
+                    .par
+                    .run_wide(d.parts.len(), d.total_rows(), |pi| {
+                        let mut ev = Env::new(&base);
+                        let mut acc = zero.clone();
+                        for row in d.parts[pi].iter() {
+                            let s = interp::eval_lambda(
+                                &fold.sng,
+                                std::slice::from_ref(row),
+                                &mut ev,
+                                catalog,
+                            )?;
+                            acc = interp::eval_lambda(&fold.uni, &[acc, s], &mut ev, catalog)?;
+                        }
+                        Ok(acc)
+                    })
+                    .map_err(ExecError::Eval)?;
                 let partial_bytes: u64 = partials.iter().map(Value::approx_bytes).sum();
                 let mut acc = zero;
                 for p in partials {
@@ -852,6 +934,143 @@ impl<'a> Session<'a> {
                 // an inline one is transparent for correctness.
                 self.exec_plan(input, env)
             }
+            Plan::Pipeline { input, stages } => {
+                let d = self.exec_bag(input, env)?;
+                // Per-stage base environments, evaluated in stage order so
+                // thunk forcings, broadcasts, and cache hits/misses happen
+                // exactly as the unfused chain's would.
+                let mut bases = Vec::with_capacity(stages.len());
+                for stage in stages {
+                    let base = match stage {
+                        PipelineStage::Map { f } | PipelineStage::Filter { p: f } => {
+                            self.eval_base_for_lambdas(&[f], env)?
+                        }
+                        PipelineStage::FlatMap { body, .. } => {
+                            self.eval_base_for_bag_exprs(&[body], env)?
+                        }
+                    };
+                    bases.push(base);
+                }
+                // The first stage's broadcast-scan charge is known before any
+                // row runs — charge it up front so a quadratic scan still
+                // aborts on the simulated clock instead of really executing.
+                // Later stages' input sizes only exist after the fused pass;
+                // their (identical) charges are issued below.
+                match &stages[0] {
+                    PipelineStage::Map { f } | PipelineStage::Filter { p: f } => {
+                        self.charge_broadcast_scans(&f.body, &bases[0], d.max_part_rows())?;
+                    }
+                    PipelineStage::FlatMap { .. } => {}
+                }
+                let nstages = stages.len();
+                // Whether stage i's input rows are materialized groups (the
+                // unfused `consumes_grouped_rows` test, looking back through
+                // fused Filter stages).
+                let grouped: Vec<bool> = (0..nstages)
+                    .map(|i| {
+                        let mut j = i;
+                        loop {
+                            if j == 0 {
+                                break consumes_grouped_rows(input);
+                            }
+                            match &stages[j - 1] {
+                                PipelineStage::Filter { .. } => j -= 1,
+                                _ => break false,
+                            }
+                        }
+                    })
+                    .collect();
+                let nested: Vec<usize> = stages
+                    .iter()
+                    .map(|s| match s {
+                        PipelineStage::Map { f } => count_nested_bag_folds(&f.body),
+                        _ => 0,
+                    })
+                    .collect();
+                // Byte totals of an intermediate are only needed where a Map
+                // stage charges nested-bag-fold re-scans over grouped input.
+                let mut need_bytes = vec![false; nstages + 1];
+                for i in 1..nstages {
+                    need_bytes[i] = nested[i] > 0 && grouped[i];
+                }
+                let catalog = self.catalog;
+                let results = self
+                    .par
+                    .run_indexed(d.parts.len(), d.total_rows(), |pi| {
+                        run_pipeline_partition(&d.parts[pi], stages, &bases, catalog, &need_bytes)
+                    })
+                    .map_err(ExecError::Eval)?;
+                let mut parts = Vec::with_capacity(results.len());
+                let mut counts_total = vec![0u64; nstages + 1];
+                let mut counts_max = vec![0u64; nstages + 1];
+                let mut bytes_max = vec![0u64; nstages + 1];
+                for (rows, counts, bytes) in results {
+                    for i in 0..=nstages {
+                        counts_total[i] += counts[i];
+                        counts_max[i] = counts_max[i].max(counts[i]);
+                        bytes_max[i] = bytes_max[i].max(bytes[i]);
+                    }
+                    parts.push(Arc::new(rows));
+                }
+                // Issue each stage's charges from its (now known) input
+                // sizes — the same per-operator record/byte totals the
+                // unfused chain charges, so the simulated counters agree
+                // bit for bit.
+                let dop = self.dop().max(1) as u64;
+                for (i, stage) in stages.iter().enumerate() {
+                    match stage {
+                        PipelineStage::Map { f } => {
+                            if i > 0 {
+                                self.charge_broadcast_scans(&f.body, &bases[i], counts_max[i])?;
+                            }
+                            self.charge_cpu_weighted(
+                                counts_total[i],
+                                counts_max[i],
+                                f.static_cost(),
+                            );
+                            if grouped[i] {
+                                let mpb = if i == 0 {
+                                    d.max_part_bytes()
+                                } else {
+                                    bytes_max[i]
+                                };
+                                self.charge_nested_bag_folds(nested[i], mpb);
+                            }
+                        }
+                        PipelineStage::Filter { p } => {
+                            if i > 0 {
+                                self.charge_broadcast_scans(&p.body, &bases[i], counts_max[i])?;
+                            }
+                            self.charge_cpu_weighted(
+                                counts_total[i],
+                                counts_max[i],
+                                p.static_cost(),
+                            );
+                        }
+                        PipelineStage::FlatMap { body, .. } => {
+                            let produced = counts_total[i + 1];
+                            self.charge_cpu_weighted(
+                                counts_total[i] + produced,
+                                counts_max[i] + produced / dop,
+                                body.static_cost(),
+                            );
+                        }
+                    }
+                }
+                self.check_budget()?;
+                // A Filter preserves the physical layout; Map/FlatMap drop
+                // it — same rule the standalone operators apply.
+                let mut partitioning = d.partitioning.clone();
+                for stage in stages {
+                    if !matches!(stage, PipelineStage::Filter { .. }) {
+                        partitioning = None;
+                    }
+                }
+                Ok(PlanResult::Bag(Partitioned {
+                    parts,
+                    partitioning,
+                }))
+            }
         }
     }
 
@@ -908,62 +1127,69 @@ impl<'a> Session<'a> {
             }
         };
 
-        // Build hash tables on the right, probe with the left.
-        let mut parts = Vec::with_capacity(lwork.parts.len());
+        // Build hash tables on the right, probe with the left — one
+        // build+probe task per left partition, fanned out on the pool.
+        let catalog = self.catalog;
+        let probe_rows: u64 =
+            lwork.total_rows() + rrows_by_part.iter().map(|p| p.len() as u64).sum::<u64>();
+        let outs = self
+            .par
+            .run_wide(lwork.parts.len(), probe_rows, |pi| {
+                let mut ev = Env::new(&base);
+                let lpart = &lwork.parts[pi];
+                let rrows = &rrows_by_part[pi.min(rrows_by_part.len() - 1)];
+                let mut table: HashMap<Value, Vec<&Value>> = HashMap::new();
+                for rrow in rrows {
+                    let k =
+                        interp::eval_lambda(rkey, std::slice::from_ref(rrow), &mut ev, catalog)?;
+                    table.entry(k).or_default().push(rrow);
+                }
+                let mut out = Vec::new();
+                for lrow in lpart.iter() {
+                    let k =
+                        interp::eval_lambda(lkey, std::slice::from_ref(lrow), &mut ev, catalog)?;
+                    let matches = table.get(&k).map(Vec::as_slice).unwrap_or(&[]);
+                    let mut any = false;
+                    for rrow in matches {
+                        let pass = match residual {
+                            Some(res) => interp::eval_lambda(
+                                res,
+                                &[lrow.clone(), (*rrow).clone()],
+                                &mut ev,
+                                catalog,
+                            )?
+                            .as_bool()?,
+                            None => true,
+                        };
+                        if pass {
+                            any = true;
+                            if kind == JoinKind::Inner {
+                                out.push(Value::tuple(vec![lrow.clone(), (*rrow).clone()]));
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    match kind {
+                        JoinKind::Inner => {}
+                        JoinKind::LeftSemi => {
+                            if any {
+                                out.push(lrow.clone());
+                            }
+                        }
+                        JoinKind::LeftAnti => {
+                            if !any {
+                                out.push(lrow.clone());
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            })
+            .map_err(ExecError::Eval)?;
+        let mut parts = Vec::with_capacity(outs.len());
         let mut produced = 0u64;
-        let mut ev = Env::new(&base);
-        for (pi, lpart) in lwork.parts.iter().enumerate() {
-            let rrows = &rrows_by_part[pi.min(rrows_by_part.len() - 1)];
-            let mut table: HashMap<Value, Vec<&Value>> = HashMap::new();
-            for rrow in rrows {
-                let k =
-                    interp::eval_lambda(rkey, std::slice::from_ref(rrow), &mut ev, self.catalog)
-                        .map_err(ExecError::Eval)?;
-                table.entry(k).or_default().push(rrow);
-            }
-            let mut out = Vec::new();
-            for lrow in lpart.iter() {
-                let k =
-                    interp::eval_lambda(lkey, std::slice::from_ref(lrow), &mut ev, self.catalog)
-                        .map_err(ExecError::Eval)?;
-                let matches = table.get(&k).map(Vec::as_slice).unwrap_or(&[]);
-                let mut any = false;
-                for rrow in matches {
-                    let pass = match residual {
-                        Some(res) => interp::eval_lambda(
-                            res,
-                            &[lrow.clone(), (*rrow).clone()],
-                            &mut ev,
-                            self.catalog,
-                        )
-                        .map_err(ExecError::Eval)?
-                        .as_bool()
-                        .map_err(ExecError::Eval)?,
-                        None => true,
-                    };
-                    if pass {
-                        any = true;
-                        if kind == JoinKind::Inner {
-                            out.push(Value::tuple(vec![lrow.clone(), (*rrow).clone()]));
-                        } else {
-                            break;
-                        }
-                    }
-                }
-                match kind {
-                    JoinKind::Inner => {}
-                    JoinKind::LeftSemi => {
-                        if any {
-                            out.push(lrow.clone());
-                        }
-                    }
-                    JoinKind::LeftAnti => {
-                        if !any {
-                            out.push(lrow.clone());
-                        }
-                    }
-                }
-            }
+        for out in outs {
             produced += out.len() as u64;
             parts.push(Arc::new(out));
         }
@@ -998,53 +1224,56 @@ impl<'a> Session<'a> {
         let base = self.eval_base_for_fold(fold, env)?;
         let base2 = self.eval_base_for_lambdas(&[key], env)?;
         let mut ev = Env::new(&base);
-        let mut evk = Env::new(&base2);
         let zero =
             interp::eval_scalar(&fold.zero, &mut ev, self.catalog).map_err(ExecError::Eval)?;
 
-        // Combiner phase: per-partition partial aggregation.
-        let mut partials: Vec<Value> = Vec::new();
-        for part in &d.parts {
-            let mut order: Vec<Value> = Vec::new();
-            let mut accs: HashMap<Value, Value> = HashMap::new();
-            for row in part.iter() {
-                let k = interp::eval_lambda(key, std::slice::from_ref(row), &mut evk, self.catalog)
-                    .map_err(ExecError::Eval)?;
-                let s = interp::eval_lambda(
-                    &fold.sng,
-                    std::slice::from_ref(row),
-                    &mut ev,
-                    self.catalog,
-                )
-                .map_err(ExecError::Eval)?;
-                match accs.get_mut(&k) {
-                    Some(acc) => {
-                        let merged = interp::eval_lambda(
-                            &fold.uni,
-                            &[acc.clone(), s],
-                            &mut ev,
-                            self.catalog,
-                        )
-                        .map_err(ExecError::Eval)?;
-                        *acc = merged;
-                    }
-                    None => {
-                        let first = interp::eval_lambda(
-                            &fold.uni,
-                            &[zero.clone(), s],
-                            &mut ev,
-                            self.catalog,
-                        )
-                        .map_err(ExecError::Eval)?;
-                        order.push(k.clone());
-                        accs.insert(k, first);
+        // Combiner phase: per-partition partial aggregation, one
+        // insertion-ordered map per partition, fanned out on the pool.
+        let catalog = self.catalog;
+        let partial_lists = self
+            .par
+            .run_wide(d.parts.len(), d.total_rows(), |pi| {
+                let mut ev = Env::new(&base);
+                let mut evk = Env::new(&base2);
+                let mut accs: InsertionMap<Value, Value> = InsertionMap::new();
+                for row in d.parts[pi].iter() {
+                    let k = interp::eval_lambda(key, std::slice::from_ref(row), &mut evk, catalog)?;
+                    let s = interp::eval_lambda(
+                        &fold.sng,
+                        std::slice::from_ref(row),
+                        &mut ev,
+                        catalog,
+                    )?;
+                    match accs.get_mut(&k) {
+                        Some(acc) => {
+                            let merged = interp::eval_lambda(
+                                &fold.uni,
+                                &[acc.clone(), s],
+                                &mut ev,
+                                catalog,
+                            )?;
+                            *acc = merged;
+                        }
+                        None => {
+                            let first = interp::eval_lambda(
+                                &fold.uni,
+                                &[zero.clone(), s],
+                                &mut ev,
+                                catalog,
+                            )?;
+                            accs.entry_or_insert_with(&k, || first);
+                        }
                     }
                 }
-            }
-            for k in order {
-                let acc = accs.remove(&k).expect("recorded key");
-                partials.push(Value::tuple(vec![k, acc]));
-            }
+                Ok(accs
+                    .into_iter()
+                    .map(|(k, acc)| Value::tuple(vec![k, acc]))
+                    .collect::<Vec<_>>())
+            })
+            .map_err(ExecError::Eval)?;
+        let mut partials: Vec<Value> = Vec::new();
+        for list in partial_lists {
+            partials.extend(list);
         }
         self.charge_cpu_weighted(
             d.total_rows(),
@@ -1057,40 +1286,37 @@ impl<'a> Session<'a> {
         let key0 = Lambda::new(["t"], ScalarExpr::var("t").get(0));
         let shuffled = self.shuffle(partial_set, &key0, env)?;
 
-        // Merge phase.
-        let mut parts = Vec::with_capacity(shuffled.parts.len());
-        for part in &shuffled.parts {
-            let mut order: Vec<Value> = Vec::new();
-            let mut accs: HashMap<Value, Value> = HashMap::new();
-            for row in part.iter() {
-                let k = row.field(0).map_err(ExecError::Eval)?.clone();
-                let a = row.field(1).map_err(ExecError::Eval)?.clone();
-                match accs.get_mut(&k) {
-                    Some(acc) => {
-                        let merged = interp::eval_lambda(
-                            &fold.uni,
-                            &[acc.clone(), a],
-                            &mut ev,
-                            self.catalog,
-                        )
-                        .map_err(ExecError::Eval)?;
-                        *acc = merged;
-                    }
-                    None => {
-                        order.push(k.clone());
-                        accs.insert(k, a);
+        // Merge phase: same insertion-ordered per-partition reduction.
+        let merged_lists = self
+            .par
+            .run_wide(shuffled.parts.len(), shuffled.total_rows(), |pi| {
+                let mut ev = Env::new(&base);
+                let mut accs: InsertionMap<Value, Value> = InsertionMap::new();
+                for row in shuffled.parts[pi].iter() {
+                    let k = row.field(0)?.clone();
+                    let a = row.field(1)?.clone();
+                    match accs.get_mut(&k) {
+                        Some(acc) => {
+                            let merged = interp::eval_lambda(
+                                &fold.uni,
+                                &[acc.clone(), a],
+                                &mut ev,
+                                catalog,
+                            )?;
+                            *acc = merged;
+                        }
+                        None => {
+                            accs.entry_or_insert_with(&k, || a);
+                        }
                     }
                 }
-            }
-            let rows: Vec<Value> = order
-                .into_iter()
-                .map(|k| {
-                    let acc = accs.remove(&k).expect("recorded key");
-                    Value::tuple(vec![k, acc])
-                })
-                .collect();
-            parts.push(Arc::new(rows));
-        }
+                Ok(accs
+                    .into_iter()
+                    .map(|(k, acc)| Value::tuple(vec![k, acc]))
+                    .collect::<Vec<_>>())
+            })
+            .map_err(ExecError::Eval)?;
+        let parts: Vec<Arc<Vec<Value>>> = merged_lists.into_iter().map(Arc::new).collect();
         self.charge_cpu(shuffled.total_rows(), shuffled.max_part_rows());
         self.stats.stages += 1;
         self.stats.charge_secs(self.personality().stage_overhead);
@@ -1151,13 +1377,14 @@ impl<'a> Session<'a> {
 
     /// Each fold over nested bag values re-scans the materialized data; when
     /// the consumer's partition outgrew worker memory, the re-scan reads
-    /// spilled data with the engine's spill penalty.
-    fn charge_nested_bag_folds(&mut self, count: usize, input: &Partitioned) {
+    /// spilled data with the engine's spill penalty. `max_part_bytes` is the
+    /// consumer's largest input partition.
+    fn charge_nested_bag_folds(&mut self, count: usize, max_part_bytes: u64) {
         if count == 0 {
             return;
         }
         let spec = *self.spec();
-        let max_bytes = input.max_part_bytes() as f64;
+        let max_bytes = max_part_bytes as f64;
         let mem = spec.mem_per_worker as f64;
         let penalty = if max_bytes > mem {
             // Re-scans of spilled first-class bag values pay the spill I/O
@@ -1215,14 +1442,27 @@ impl<'a> Session<'a> {
             }
         }
         let base = self.eval_base_for_lambdas(&[key], env)?;
-        let mut ev = Env::new(&base);
+        // Bucket each source partition on the pool, then splice the
+        // per-partition buckets together in partition order — the same row
+        // order the serial loop produced.
+        let catalog = self.catalog;
+        let bucket_lists = self
+            .par
+            .run_wide(d.parts.len(), d.total_rows(), |pi| {
+                let mut ev = Env::new(&base);
+                let mut local: Vec<Vec<Value>> = (0..parts_n).map(|_| Vec::new()).collect();
+                for row in d.parts[pi].iter() {
+                    let k = interp::eval_lambda(key, std::slice::from_ref(row), &mut ev, catalog)?;
+                    let b = (value_hash(&k) % parts_n as u64) as usize;
+                    local[b].push(row.clone());
+                }
+                Ok(local)
+            })
+            .map_err(ExecError::Eval)?;
         let mut buckets: Vec<Vec<Value>> = (0..parts_n).map(|_| Vec::new()).collect();
-        for part in &d.parts {
-            for row in part.iter() {
-                let k = interp::eval_lambda(key, std::slice::from_ref(row), &mut ev, self.catalog)
-                    .map_err(ExecError::Eval)?;
-                let b = (value_hash(&k) % parts_n as u64) as usize;
-                buckets[b].push(row.clone());
+        for local in bucket_lists {
+            for (b, mut rows) in local.into_iter().enumerate() {
+                buckets[b].append(&mut rows);
             }
         }
         let out = Partitioned {
@@ -1255,7 +1495,7 @@ impl<'a> Session<'a> {
 
     fn force(&mut self, thunk: &Arc<Thunk>) -> Result<Partitioned, ExecError> {
         if thunk.cache_enabled {
-            if let Some(hit) = thunk.memo.lock().clone() {
+            if let Some(hit) = thunk.memo.lock().unwrap().clone() {
                 self.stats.cache_hits += 1;
                 self.charge_cache_read(&hit);
                 return Ok(hit);
@@ -1263,7 +1503,7 @@ impl<'a> Session<'a> {
             let result = self.exec_bag(&thunk.plan.clone(), &thunk.env.clone())?;
             self.stats.cache_misses += 1;
             self.charge_cache_write(&result);
-            *thunk.memo.lock() = Some(result.clone());
+            *thunk.memo.lock().unwrap() = Some(result.clone());
             Ok(result)
         } else {
             // Lazy lineage: every force recomputes from scratch.
@@ -1388,7 +1628,7 @@ impl<'a> Session<'a> {
                 }
                 Some(Binding::Stateful(state)) => {
                     let snap = {
-                        let st = state.lock();
+                        let st = state.lock().unwrap();
                         st.snapshot(&st.key)
                     };
                     let bytes = snap.total_bytes();
@@ -1433,45 +1673,154 @@ fn consumes_grouped_rows(plan: &Plan) -> bool {
     }
 }
 
-/// Runs a per-partition computation across worker threads (one simulated
-/// cluster is executed by however many real cores this machine has). Results
-/// keep partition order; the first error wins.
-fn run_partitions<F>(parts: &[Arc<Vec<Value>>], f: F) -> Result<Vec<Arc<Vec<Value>>>, ValueError>
-where
-    F: Fn(&[Value]) -> Result<Vec<Value>, ValueError> + Sync,
-{
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(parts.len().max(1));
-    let total_rows: usize = parts.iter().map(|p| p.len()).sum();
-    if threads <= 1 || total_rows < 4_096 {
-        return parts.iter().map(|p| f(p).map(Arc::new)).collect();
-    }
-    type Slot = Mutex<Option<Result<Vec<Value>, ValueError>>>;
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Slot> = (0..parts.len()).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= parts.len() {
-                    break;
-                }
-                *slots[i].lock() = Some(f(&parts[i]));
-            });
+/// Runs every fused stage over one partition in a single pass: each row is
+/// pushed through the whole stage chain with no intermediate collection
+/// materialized. Returns the output rows plus, per stage boundary `i`, the
+/// number of rows that entered stage `i` (`counts[nstages]` = output rows)
+/// and — where `need_bytes[i]` — their byte total, so the caller can issue
+/// exactly the charges the unfused chain would.
+/// Output rows plus the per-stage row and byte counters of one partition.
+type PartitionPass = (Vec<Value>, Vec<u64>, Vec<u64>);
+
+fn run_pipeline_partition<'a>(
+    rows: &[Value],
+    stages: &'a [PipelineStage],
+    bases: &'a [HashMap<String, Value>],
+    catalog: &Catalog,
+    need_bytes: &[bool],
+) -> Result<PartitionPass, ValueError> {
+    let nstages = stages.len();
+    let mut envs: Vec<Env> = bases.iter().map(Env::new).collect();
+    let mut counts = vec![0u64; nstages + 1];
+    let mut bytes = vec![0u64; nstages + 1];
+    let mut out = Vec::new();
+    if stages
+        .iter()
+        .any(|s| matches!(s, PipelineStage::FlatMap { .. }))
+    {
+        for row in rows {
+            push_row(
+                row.clone(),
+                0,
+                stages,
+                &mut envs,
+                catalog,
+                need_bytes,
+                &mut counts,
+                &mut bytes,
+                &mut out,
+            )?;
         }
-    })
-    .expect("partition worker panicked");
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("every partition processed")
-                .map(Arc::new)
-        })
-        .collect()
+        return Ok((out, counts, bytes));
+    }
+    // Map/Filter-only chains (the common fused shape) run as one flat loop:
+    // each row stays in a register-resident local through every stage, with
+    // no per-stage recursion.
+    'rows: for row in rows {
+        let mut cur = row.clone();
+        for (i, stage) in stages.iter().enumerate() {
+            counts[i] += 1;
+            if need_bytes[i] {
+                bytes[i] += cur.approx_bytes();
+            }
+            match stage {
+                PipelineStage::Map { f } => {
+                    cur =
+                        interp::eval_lambda(f, std::slice::from_ref(&cur), &mut envs[i], catalog)?;
+                }
+                PipelineStage::Filter { p } => {
+                    let keep =
+                        interp::eval_lambda(p, std::slice::from_ref(&cur), &mut envs[i], catalog)?
+                            .as_bool()?;
+                    if !keep {
+                        continue 'rows;
+                    }
+                }
+                PipelineStage::FlatMap { .. } => unreachable!("handled above"),
+            }
+        }
+        counts[nstages] += 1;
+        if need_bytes[nstages] {
+            bytes[nstages] += cur.approx_bytes();
+        }
+        out.push(cur);
+    }
+    Ok((out, counts, bytes))
+}
+
+/// Pushes one row into stage `i` of a fused pipeline (and onward).
+#[allow(clippy::too_many_arguments)]
+fn push_row<'a>(
+    row: Value,
+    i: usize,
+    stages: &'a [PipelineStage],
+    envs: &mut [Env<'a>],
+    catalog: &Catalog,
+    need_bytes: &[bool],
+    counts: &mut [u64],
+    bytes: &mut [u64],
+    out: &mut Vec<Value>,
+) -> Result<(), ValueError> {
+    counts[i] += 1;
+    if need_bytes[i] {
+        bytes[i] += row.approx_bytes();
+    }
+    let Some(stage) = stages.get(i) else {
+        out.push(row);
+        return Ok(());
+    };
+    match stage {
+        PipelineStage::Map { f } => {
+            let v = interp::eval_lambda(f, std::slice::from_ref(&row), &mut envs[i], catalog)?;
+            push_row(
+                v,
+                i + 1,
+                stages,
+                envs,
+                catalog,
+                need_bytes,
+                counts,
+                bytes,
+                out,
+            )
+        }
+        PipelineStage::Filter { p } => {
+            let keep = interp::eval_lambda(p, std::slice::from_ref(&row), &mut envs[i], catalog)?
+                .as_bool()?;
+            if keep {
+                push_row(
+                    row,
+                    i + 1,
+                    stages,
+                    envs,
+                    catalog,
+                    need_bytes,
+                    counts,
+                    bytes,
+                    out,
+                )
+            } else {
+                Ok(())
+            }
+        }
+        PipelineStage::FlatMap { param, body } => {
+            let inner = interp::eval_bag_with_binding(body, param, row, &mut envs[i], catalog)?;
+            for v in inner {
+                push_row(
+                    v,
+                    i + 1,
+                    stages,
+                    envs,
+                    catalog,
+                    need_bytes,
+                    counts,
+                    bytes,
+                    out,
+                )?;
+            }
+            Ok(())
+        }
+    }
 }
 
 /// Strips a top-level `Cache` marker.
@@ -1480,24 +1829,6 @@ fn strip_cache(plan: &Plan) -> (Plan, bool) {
         Plan::Cache { input } => ((**input).clone(), true),
         other => (other.clone(), false),
     }
-}
-
-/// Evaluates a flatMap body with its element binding pushed.
-fn eval_bag_with_binding(
-    body: &BagExpr,
-    param: &str,
-    row: Value,
-    ev: &mut Env<'_>,
-    catalog: &Catalog,
-) -> Result<Vec<Value>, ValueError> {
-    // Push/pop through the public lambda mechanism: wrap in a one-off fold.
-    // Simpler: bind via a synthetic lambda application.
-    let lam = Lambda {
-        params: vec![param.to_string()],
-        body: ScalarExpr::BagOf(Box::new(body.clone())),
-    };
-    let v = interp::eval_lambda(&lam, &[row], ev, catalog)?;
-    Ok(v.as_bag()?.to_vec())
 }
 
 /// Sums the row counts of folds over *broadcast* bags (chains rooted at a

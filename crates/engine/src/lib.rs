@@ -30,8 +30,11 @@ pub mod cluster;
 pub mod dataset;
 pub mod exec;
 pub mod metrics;
+pub mod ordmap;
+pub mod pool;
 
 pub use cluster::{ClusterSpec, Personality};
 pub use dataset::{Partitioned, Partitioning};
 pub use exec::{Engine, EngineRun};
 pub use metrics::{ExecError, ExecStats};
+pub use pool::{ParallelismMode, WorkerPool};

@@ -9,13 +9,28 @@
 use std::fmt;
 
 /// Accumulated execution statistics for one program run.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct ExecStats {
-    /// The simulated wall-clock, in seconds.
+    /// The simulated wall-clock, in seconds. Derived from an exact
+    /// fixed-point accumulator (see [`ExecStats::charge_secs`]), so two runs
+    /// that accrue the same *set* of charges produce bit-identical values
+    /// even if the charges arrive in a different order — which is what lets
+    /// pipeline-fused and unfused executions of the same plan agree exactly.
     pub simulated_secs: f64,
+    /// Real elapsed time of the run, in seconds. Unlike `simulated_secs`
+    /// (the paper's cluster cost model), this measures this process's actual
+    /// wall clock and is what the pipeline-fusion benchmarks compare.
+    pub wall_secs: f64,
     /// Exclusive simulated time attributed to each operator kind — an
     /// `EXPLAIN ANALYZE`-style breakdown of where the clock went.
     pub op_secs: std::collections::HashMap<&'static str, f64>,
+    /// Exclusive *real* elapsed time per operator kind (the wall-clock
+    /// counterpart of `op_secs`).
+    pub op_wall_secs: std::collections::HashMap<&'static str, f64>,
+    /// Exact fixed-point backing store for `simulated_secs`, in attoseconds
+    /// (10⁻¹⁸ s). Integer addition is associative and commutative, so the
+    /// total cannot drift with charge order the way repeated `f64 +=` can.
+    sim_attos: u128,
     /// Bytes moved through hash shuffles.
     pub bytes_shuffled: u64,
     /// Bytes shipped through broadcasts (driver → all workers).
@@ -38,11 +53,21 @@ pub struct ExecStats {
     pub iterations: u64,
 }
 
+/// Attoseconds per second — the resolution of the simulated clock.
+const ATTOS_PER_SEC: f64 = 1e18;
+
 impl ExecStats {
     /// Adds simulated time.
+    ///
+    /// Each charge is rounded once to an integer attosecond count and summed
+    /// exactly; `simulated_secs` is re-derived from the integer total. The
+    /// rounding is per-charge-value (deterministic), so any two executions
+    /// that issue the same multiset of charges — regardless of order — end
+    /// at bit-identical `simulated_secs`.
     pub fn charge_secs(&mut self, secs: f64) {
         debug_assert!(secs.is_finite() && secs >= 0.0, "bad charge: {secs}");
-        self.simulated_secs += secs;
+        self.sim_attos += (secs * ATTOS_PER_SEC).round() as u128;
+        self.simulated_secs = self.sim_attos as f64 / ATTOS_PER_SEC;
     }
 
     /// The `n` most expensive operator kinds, by exclusive simulated time,
@@ -53,6 +78,27 @@ impl ExecStats {
         ops.sort_by(|a, b| b.1.total_cmp(&a.1));
         ops.truncate(n);
         ops
+    }
+}
+
+/// Equality compares the deterministic simulation counters only: wall-clock
+/// fields (`wall_secs`, `op_wall_secs`) vary run to run, and the per-operator
+/// attribution breakdown (`op_secs`) is excluded because fused and unfused
+/// executions of the same plan attribute the same total to different operator
+/// labels (`Pipeline` vs. `Map`/`Filter`/`FlatMap`).
+impl PartialEq for ExecStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.sim_attos == other.sim_attos
+            && self.bytes_shuffled == other.bytes_shuffled
+            && self.bytes_broadcast == other.bytes_broadcast
+            && self.bytes_read_storage == other.bytes_read_storage
+            && self.bytes_written_storage == other.bytes_written_storage
+            && self.bytes_spilled == other.bytes_spilled
+            && self.records_processed == other.records_processed
+            && self.stages == other.stages
+            && self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+            && self.iterations == other.iterations
     }
 }
 
@@ -142,6 +188,39 @@ mod tests {
         s.charge_secs(1.5);
         s.charge_secs(2.5);
         assert!((s.simulated_secs - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_order_is_irrelevant() {
+        // The motivating case for the fixed-point clock: f64 `+=` in a
+        // different order can drift by ULPs; the attosecond accumulator
+        // cannot.
+        let charges = [0.1, 1e-9, 2.5e3, 0.3, 7.77e-6, 123.456, 1e-12];
+        let mut a = ExecStats::default();
+        let mut b = ExecStats::default();
+        for c in charges {
+            a.charge_secs(c);
+        }
+        for c in charges.iter().rev() {
+            b.charge_secs(*c);
+        }
+        assert_eq!(a.simulated_secs.to_bits(), b.simulated_secs.to_bits());
+    }
+
+    #[test]
+    fn eq_ignores_wall_time_and_attribution() {
+        let mut a = ExecStats::default();
+        let mut b = ExecStats::default();
+        a.wall_secs = 1.0;
+        b.wall_secs = 9.0;
+        b.op_wall_secs.insert("Map", 3.0);
+        // Fused runs label time "Pipeline" where unfused runs say "Map";
+        // attribution must not break counter equality.
+        a.op_secs.insert("Map", 2.0);
+        b.op_secs.insert("Pipeline", 2.0);
+        assert_eq!(a, b);
+        b.records_processed = 1;
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! An insertion-ordered hash map for aggregation state.
+//!
+//! The seed's `aggBy` combiner tracked group order with a separate
+//! `order: Vec<Value>` next to a `HashMap<Value, Value>` — two structures to
+//! keep in sync, a full key clone per group in each, and a hash lookup per
+//! emitted group when draining. [`InsertionMap`] folds both into one: a
+//! dense `Vec` of `(key, value)` entries (iteration order = first-insertion
+//! order) indexed by a `HashMap<key, slot>`. Draining is a linear walk of
+//! the entry vector with no re-hashing.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A hash map that iterates in first-insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct InsertionMap<K, V> {
+    entries: Vec<(K, V)>,
+    index: HashMap<K, usize>,
+}
+
+impl<K: Clone + Eq + Hash, V> InsertionMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        InsertionMap {
+            entries: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value slot for `key`, inserting `default()` on first sight.
+    /// First sight fixes the key's position in iteration order.
+    pub fn entry_or_insert_with(&mut self, key: &K, default: impl FnOnce() -> V) -> &mut V {
+        match self.index.get(key) {
+            Some(&slot) => &mut self.entries[slot].1,
+            None => {
+                let slot = self.entries.len();
+                self.index.insert(key.clone(), slot);
+                self.entries.push((key.clone(), default()));
+                &mut self.entries[slot].1
+            }
+        }
+    }
+
+    /// The value slot for an already-inserted `key`, or `None`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.index.get(key).map(|&slot| &mut self.entries[slot].1)
+    }
+
+    /// Iterates `(key, value)` pairs in first-insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl<K, V> IntoIterator for InsertionMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
+
+    /// Consumes the map, yielding `(key, value)` pairs in first-insertion
+    /// order.
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_insertion_order() {
+        let mut m: InsertionMap<&str, i64> = InsertionMap::new();
+        for k in ["b", "a", "c", "a", "b", "d"] {
+            *m.entry_or_insert_with(&k, || 0) += 1;
+        }
+        let drained: Vec<(&str, i64)> = m.into_iter().collect();
+        assert_eq!(drained, vec![("b", 2), ("a", 2), ("c", 1), ("d", 1)]);
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let mut m: InsertionMap<i64, String> = InsertionMap::new();
+        assert!(m.is_empty());
+        m.entry_or_insert_with(&7, || "seven".into());
+        m.entry_or_insert_with(&3, || "three".into());
+        *m.entry_or_insert_with(&7, || unreachable!()) = "SEVEN".into();
+        assert_eq!(m.len(), 2);
+        let keys: Vec<i64> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![7, 3]);
+        assert_eq!(m.iter().next().unwrap().1, "SEVEN");
+    }
+}

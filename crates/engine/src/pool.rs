@@ -1,0 +1,409 @@
+//! A persistent worker pool for per-partition execution.
+//!
+//! The seed engine spawned a fresh `std::thread::scope` for every `Map` and
+//! `Filter` call — thread creation and teardown on every operator, and no
+//! parallelism at all for `FlatMap`, `Fold` partials, `aggBy` combining,
+//! shuffle bucketing, or join probing. This module replaces that with a pool
+//! created **once per `Engine::run`** and shared by every operator of the
+//! run: a fixed set of workers blocked on a job channel, fed batches of
+//! index-addressed tasks.
+//!
+//! Two dispatch modes exist so benchmarks can compare honestly:
+//!
+//! * [`ParallelismMode::Pool`] (the default) routes all per-partition work —
+//!   narrow operators, fused pipelines, fold partials, `aggBy` combiners,
+//!   shuffle bucketing, and join build/probe — through the persistent pool.
+//! * [`ParallelismMode::PerOperator`] reproduces the seed behavior exactly:
+//!   a fresh thread scope per narrow operator, everything else serial.
+//!
+//! Determinism: tasks are indexed by partition, results land in
+//! per-partition slots, and error selection takes the **lowest-index**
+//! failure — so the observable outcome never depends on scheduling order.
+//! The simulated-cost accounting never happens on workers (charges are
+//! derived from aggregate counts after the parallel section), so the cost
+//! model is oblivious to the thread count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+use emma_compiler::value::ValueError;
+
+/// How the engine maps per-partition work onto OS threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParallelismMode {
+    /// Spawn a fresh thread scope per narrow operator; wide operators run
+    /// serially. This is the pre-pool engine behavior, kept as a baseline.
+    PerOperator,
+    /// One persistent worker pool per run; all per-partition work (narrow
+    /// *and* wide operators) is dispatched to it.
+    Pool,
+}
+
+/// One batch of index-addressed tasks submitted to the pool.
+///
+/// `task` is a borrowed closure with its lifetime erased: it is only ever
+/// dereferenced while the submitting [`WorkerPool::run`] call is blocked
+/// waiting for `remaining` to reach zero, which happens strictly after the
+/// last dereference.
+struct Job {
+    task: &'static (dyn Fn(usize) + Sync),
+    next: AtomicUsize,
+    total: usize,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+struct JobState {
+    remaining: usize,
+    panicked: bool,
+}
+
+impl Job {
+    /// Claims and runs tasks until the batch is exhausted. Called by pool
+    /// workers and by the submitting thread itself.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            let ok = catch_unwind(AssertUnwindSafe(|| (self.task)(i))).is_ok();
+            let mut st = self.state.lock().unwrap();
+            if !ok {
+                st.panicked = true;
+            }
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                drop(st);
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+/// A fixed-size pool of workers created once and reused for every parallel
+/// section of a run.
+pub struct WorkerPool {
+    sender: Option<mpsc::Sender<Arc<Job>>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    size: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `size` workers blocked on the job channel.
+    pub fn new(size: usize) -> Self {
+        let (sender, receiver) = mpsc::channel::<Arc<Job>>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("emma-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = match receiver.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // pool dropped
+                        };
+                        job.work();
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+            size,
+        }
+    }
+
+    /// The number of pool workers (the submitting thread also participates,
+    /// so up to `size + 1` threads execute a batch).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `f(0..total)` across the pool, blocking until every task has
+    /// finished. Panics (after all tasks settle) if any task panicked.
+    pub fn run(&self, total: usize, f: &(dyn Fn(usize) + Sync)) {
+        if total == 0 {
+            return;
+        }
+        if self.size == 0 || total == 1 {
+            for i in 0..total {
+                f(i);
+            }
+            return;
+        }
+        // Erase the borrow lifetime; see the `Job` safety comment.
+        let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let job = Arc::new(Job {
+            task,
+            next: AtomicUsize::new(0),
+            total,
+            state: Mutex::new(JobState {
+                remaining: total,
+                panicked: false,
+            }),
+            done: Condvar::new(),
+        });
+        // Wake at most one worker per remaining task; the caller works too.
+        let helpers = self.size.min(total - 1);
+        if let Some(sender) = &self.sender {
+            for _ in 0..helpers {
+                let _ = sender.send(Arc::clone(&job));
+            }
+        }
+        job.work();
+        let mut st = job.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = job.done.wait(st).unwrap();
+        }
+        let panicked = st.panicked;
+        drop(st);
+        if panicked {
+            panic!("partition worker panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the channel so workers see a recv error and exit.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Per-run parallel-execution context: mode, cached thread count, the
+/// row-count gate, and (in pool mode) the persistent pool itself.
+pub struct Parallelism {
+    mode: ParallelismMode,
+    /// Cached `available_parallelism` (or the configured override) — probed
+    /// once per run instead of once per operator call.
+    threads: usize,
+    /// Minimum total row count before an operator goes parallel; below this
+    /// the fan-out overhead outweighs the work.
+    threshold: u64,
+    pool: Option<WorkerPool>,
+}
+
+impl Parallelism {
+    /// Builds the context, probing the thread count once and (in pool mode,
+    /// when useful) spawning the persistent pool.
+    pub fn new(mode: ParallelismMode, threads_override: Option<usize>, threshold: u64) -> Self {
+        let threads = threads_override.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        let pool = match mode {
+            // `threads - 1` workers: the submitting engine thread is the
+            // remaining executor.
+            ParallelismMode::Pool if threads > 1 => Some(WorkerPool::new(threads - 1)),
+            _ => None,
+        };
+        Parallelism {
+            mode,
+            threads,
+            threshold,
+            pool,
+        }
+    }
+
+    /// The cached worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether an operator over `total_rows` rows should fan out at all.
+    fn gate(&self, total_rows: u64) -> bool {
+        self.threads > 1 && total_rows >= self.threshold
+    }
+
+    /// Index-addressed fan-out with per-slot results and lowest-index-wins
+    /// error selection. Runs serially when below the row gate (or in
+    /// per-operator mode without a scope — see `run_rows`).
+    fn map_indexed<T, F>(&self, n: usize, f: F) -> Result<Vec<T>, ValueError>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T, ValueError> + Sync,
+    {
+        let slots: Vec<Mutex<Option<Result<T, ValueError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        match &self.pool {
+            Some(pool) => pool.run(n, &|i| {
+                *slots[i].lock().unwrap() = Some(f(i));
+            }),
+            None => {
+                // Per-operator mode reaches `map_indexed` only via
+                // `run_rows`, which provides its own scoped threads; a
+                // missing pool here means single-threaded.
+                for (i, slot) in slots.iter().enumerate() {
+                    *slot.lock().unwrap() = Some(f(i));
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("task slot filled"))
+            .collect()
+    }
+
+    /// Parallel per-partition work for **wide** operators (fold partials,
+    /// `aggBy` combining, shuffle bucketing, join probing). Serial in
+    /// per-operator mode — the seed engine never parallelized these — and
+    /// serial below the row gate.
+    pub fn run_wide<T, F>(&self, n: usize, total_rows: u64, f: F) -> Result<Vec<T>, ValueError>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T, ValueError> + Sync,
+    {
+        if self.mode == ParallelismMode::PerOperator || !self.gate(total_rows) {
+            return (0..n).map(f).collect();
+        }
+        self.map_indexed(n, f)
+    }
+
+    /// Parallel index-addressed work for **narrow** (partition-local) passes:
+    /// fans out in *both* modes — per-operator mode spawns the seed's fresh
+    /// thread scope, pool mode dispatches to the persistent pool. Serial
+    /// below the row gate.
+    pub fn run_indexed<T, F>(&self, n: usize, total_rows: u64, f: F) -> Result<Vec<T>, ValueError>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T, ValueError> + Sync,
+    {
+        if !self.gate(total_rows) {
+            return (0..n).map(f).collect();
+        }
+        if self.mode == ParallelismMode::PerOperator {
+            // Seed behavior: a fresh scope per operator call, work-stealing
+            // over partition indices.
+            let threads = self.threads.min(n.max(1));
+            let slots: Vec<Mutex<Option<Result<T, ValueError>>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return;
+                        }
+                        *slots[i].lock().unwrap() = Some(f(i));
+                    });
+                }
+            });
+            return slots
+                .into_iter()
+                .map(|s| s.into_inner().unwrap().expect("partition slot filled"))
+                .collect();
+        }
+        self.map_indexed(n, f)
+    }
+
+    /// Parallel row-transform for **narrow** operators: applies `f` to every
+    /// partition, returning the transformed partitions in order.
+    pub fn run_rows<F>(
+        &self,
+        parts: &[Arc<Vec<emma_compiler::value::Value>>],
+        total_rows: u64,
+        f: F,
+    ) -> Result<Vec<Arc<Vec<emma_compiler::value::Value>>>, ValueError>
+    where
+        F: Fn(
+                &[emma_compiler::value::Value],
+            ) -> Result<Vec<emma_compiler::value::Value>, ValueError>
+            + Sync,
+    {
+        self.run_indexed(parts.len(), total_rows, |i| f(&parts[i]).map(Arc::new))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_all_tasks() {
+        let pool = WorkerPool::new(3);
+        let sum = AtomicU64::new(0);
+        pool.run(100, &|i| {
+            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+        // Reuse the same pool for a second batch.
+        let sum2 = AtomicU64::new(0);
+        pool.run(7, &|i| {
+            sum2.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum2.load(Ordering::Relaxed), 21);
+    }
+
+    #[test]
+    fn pool_size_zero_runs_inline() {
+        let pool = WorkerPool::new(0);
+        let sum = AtomicU64::new(0);
+        pool.run(5, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn pool_propagates_panics() {
+        let pool = WorkerPool::new(2);
+        let hit = AtomicU64::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                hit.fetch_add(1, Ordering::Relaxed);
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // All tasks still settled before the panic surfaced.
+        assert_eq!(hit.load(Ordering::Relaxed), 8);
+        // The pool survives a panicked batch.
+        pool.run(2, &|_| {});
+    }
+
+    #[test]
+    fn wide_errors_pick_lowest_index() {
+        let par = Parallelism::new(ParallelismMode::Pool, Some(4), 0);
+        let r: Result<Vec<u64>, _> = par.run_wide(10, u64::MAX, |i| {
+            if i >= 5 {
+                Err(ValueError::Unknown(format!("fail {i}")))
+            } else {
+                Ok(i as u64)
+            }
+        });
+        assert_eq!(r.unwrap_err(), ValueError::Unknown("fail 5".into()));
+    }
+
+    #[test]
+    fn run_rows_preserves_partition_order() {
+        let par = Parallelism::new(ParallelismMode::Pool, Some(4), 0);
+        let parts: Vec<Arc<Vec<emma_compiler::value::Value>>> = (0..6)
+            .map(|p| {
+                Arc::new(
+                    (0..4)
+                        .map(|i| emma_compiler::value::Value::Int(p * 10 + i))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let out = par
+            .run_rows(&parts, u64::MAX, |rows| Ok(rows.to_vec()))
+            .unwrap();
+        assert_eq!(out.len(), 6);
+        for (a, b) in out.iter().zip(&parts) {
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -319,7 +319,11 @@ fn operator_time_breakdown_accounts_for_the_clock() {
         "{total} vs {}",
         run.stats.simulated_secs
     );
-    assert!(total > run.stats.simulated_secs * 0.5, "{:?}", run.stats.op_secs);
+    assert!(
+        total > run.stats.simulated_secs * 0.5,
+        "{:?}",
+        run.stats.op_secs
+    );
     let top = run.stats.top_operators(3);
     assert!(!top.is_empty());
     assert!(

@@ -1,0 +1,240 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// produces a finished value directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves and `recurse`
+    /// wraps a strategy for depth `d` into one for depth `d + 1`. `depth`
+    /// bounds the nesting; `_desired_size` and `_expected_branch_size` are
+    /// accepted for API compatibility but the shim bounds growth by depth
+    /// alone.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            // At each level pick leaves half the time so generated trees
+            // spread over all depths up to the bound.
+            current = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        current
+    }
+
+    /// Type-erases this strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// Object-safe generation interface backing [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_generate(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among alternative strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given (non-empty) alternatives.
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        Union { choices }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            choices: self.choices.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.choices.len() as u64) as usize;
+        self.choices[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(span as u64) as u128
+                };
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(span as u64) as u128
+                };
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}

@@ -1,0 +1,128 @@
+//! `&str` pattern strategies.
+//!
+//! Real proptest interprets a `&str` strategy as a full regex. This shim
+//! supports the shapes used in this workspace: an optional single character
+//! class `[a-z0-9...]` followed by an optional `{n}` / `{m,n}` repetition
+//! (literal prefixes/suffixes of plain characters are also accepted).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Piece {
+    Literal(char),
+    Class {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    },
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '[' {
+            pieces.push(Piece::Literal(c));
+            continue;
+        }
+        let mut class = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+            if c == ']' {
+                break;
+            }
+            if chars.peek() == Some(&'-') {
+                chars.next();
+                let hi = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling '-' in pattern {pattern:?}"));
+                assert!(c <= hi, "inverted class range in pattern {pattern:?}");
+                for code in c as u32..=hi as u32 {
+                    class.push(char::from_u32(code).unwrap());
+                }
+            } else {
+                class.push(c);
+            }
+        }
+        assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                let c = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece::Class {
+            chars: class,
+            min,
+            max,
+        });
+    }
+    pieces
+}
+
+/// Strategy form of a parsed pattern (what `"[a-z]{0,12}"` desugars to).
+#[derive(Clone, Debug)]
+pub struct PatternStrategy {
+    pieces: Vec<Piece>,
+}
+
+impl Strategy for PatternStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            match piece {
+                Piece::Literal(c) => out.push(*c),
+                Piece::Class { chars, min, max } => {
+                    let len = min + rng.below((max - min + 1) as u64) as usize;
+                    for _ in 0..len {
+                        out.push(chars[rng.below(chars.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        PatternStrategy {
+            pieces: parse_pattern(self),
+        }
+        .generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}

@@ -43,7 +43,7 @@ fn main() {
     }
     println!("cluster sizes: {sizes:?}");
     assert_eq!(sizes.len(), spec.k, "found all {} clusters", spec.k);
-    for (_, n) in &sizes {
+    for n in sizes.values() {
         let expected = spec.n / spec.k;
         assert!(
             (*n as i64 - expected as i64).unsigned_abs() < (expected / 4) as u64,

@@ -1,4 +1,6 @@
 //! Shared helpers for the integration tests.
+// Each test binary compiles this module separately and uses a subset of it.
+#![allow(dead_code)]
 
 use emma::prelude::*;
 

@@ -88,6 +88,7 @@ fn program(plan: Plan, fused: bool) -> CompiledProgram {
             plan,
         }],
         report: OptimizationReport::default(),
+        compiled_eval: true,
     };
     if fused {
         apply_pipeline_fusion(&mut prog.body, &mut prog.report);

@@ -1,0 +1,118 @@
+//! Acceptance check for the compiled-evaluator tier: across the paper
+//! workloads (Fig. 4 spam classifier, Fig. 5 group aggregation, TPC-H
+//! Q1/Q4, PageRank), running UDFs through the slot-based compiled
+//! evaluators must produce exactly the same sink rows, driver scalars, and
+//! deterministic [`ExecStats`] counters — including bit-identical
+//! `simulated_secs` — as the tree-walking interpreter. Compilation is an
+//! evaluation tier, not a plan optimization: it may only change how fast a
+//! row is evaluated on the host, never what is computed or what the cost
+//! model charges.
+
+use emma::algorithms::{groupagg, pagerank, spam, tpch};
+use emma::prelude::*;
+use emma_bench::fig4;
+use emma_datagen::emails::{classifiers, EmailSpec};
+use emma_datagen::tpch::TpchSpec;
+use emma_datagen::KeyDistribution;
+
+fn assert_compiled_invariant(
+    what: &str,
+    program: &Program,
+    catalog: &Catalog,
+    flags: &OptimizerFlags,
+) {
+    let compiled = parallelize(program, &flags.with_compiled_eval(true));
+    let interpreted = parallelize(program, &flags.with_compiled_eval(false));
+    assert!(compiled.compiled_eval, "{what}: flag not plumbed through");
+    assert!(
+        !interpreted.compiled_eval,
+        "{what}: flag not plumbed through"
+    );
+    for engine in [Engine::sparrow(), Engine::flamingo()] {
+        let a = engine.run(&compiled, catalog).expect(what);
+        let b = engine.run(&interpreted, catalog).expect(what);
+        assert_eq!(a.writes, b.writes, "{what}: sink rows differ");
+        assert_eq!(a.scalars, b.scalars, "{what}: scalars differ");
+        assert_eq!(a.stats, b.stats, "{what}: counters differ");
+        assert_eq!(
+            a.stats.simulated_secs.to_bits(),
+            b.stats.simulated_secs.to_bits(),
+            "{what}: simulated time not bit-identical"
+        );
+    }
+}
+
+#[test]
+fn fig4_spam_workflow_counters_invariant_under_compiled_eval() {
+    let (program, catalog) = fig4::workload();
+    assert_compiled_invariant("fig4 optimized", &program, &catalog, &OptimizerFlags::all());
+    // The figure's baseline lowering keeps a narrow fused chain — the tier
+    // must also agree inside fused per-partition pipelines.
+    let baseline = OptimizerFlags::all()
+        .with_unnest_exists(false)
+        .with_caching(false)
+        .with_partition_pulling(false);
+    assert_compiled_invariant("fig4 baseline", &program, &catalog, &baseline);
+}
+
+#[test]
+fn fig4_small_scale_counters_invariant_under_compiled_eval() {
+    let spec = EmailSpec {
+        emails: 120,
+        blacklist: 30,
+        ip_domain: 200,
+        body_bytes: 2_000,
+        info_bytes: 500,
+        seed: 7,
+    };
+    let program = spam::program(classifiers(2));
+    let catalog = spam::catalog(&spec);
+    let baseline = OptimizerFlags::all().with_unnest_exists(false);
+    assert_compiled_invariant("fig4 small", &program, &catalog, &baseline);
+}
+
+#[test]
+fn fig5_group_aggregation_counters_invariant_under_compiled_eval() {
+    let program = groupagg::program();
+    for dist in KeyDistribution::all() {
+        let catalog = groupagg::catalog(4_000, 100, dist, 42);
+        // Both the aggBy (fold-group fused) and groupBy shapes shuffle with
+        // carried key hashes — cover each.
+        for fold_group in [true, false] {
+            let flags = OptimizerFlags::all().with_fold_group_fusion(fold_group);
+            assert_compiled_invariant(&format!("fig5 {dist:?}"), &program, &catalog, &flags);
+        }
+    }
+}
+
+#[test]
+fn tpch_q1_q4_counters_invariant_under_compiled_eval() {
+    let catalog = tpch::catalog(&TpchSpec {
+        scale: 30.0,
+        seed: 42,
+    });
+    // Q1 exercises aggBy's prehashed combiner; Q4 the hash-reusing
+    // repartition join plus a fused filter→flatMap chain.
+    for (name, program) in [("Q1", tpch::q1_program()), ("Q4", tpch::q4_program())] {
+        assert_compiled_invariant(name, &program, &catalog, &OptimizerFlags::all());
+    }
+}
+
+#[test]
+fn pagerank_counters_invariant_under_compiled_eval() {
+    // Iterative workload: compiled UDFs are memoized across iterations, so
+    // the same CompiledEval instance is re-bound and re-run every round.
+    let params = pagerank::PagerankParams {
+        num_pages: 200,
+        iterations: 5,
+        ..Default::default()
+    };
+    let program = pagerank::program(&params);
+    let catalog = pagerank::catalog(&emma_datagen::graph::GraphSpec {
+        vertices: params.num_pages,
+        avg_degree: 4,
+        skew: 1.0,
+        seed: 42,
+    });
+    assert_compiled_invariant("pagerank", &program, &catalog, &OptimizerFlags::all());
+}

@@ -19,7 +19,7 @@ use crate::expr::{FoldOp, Lambda, ScalarExpr};
 use crate::value::Value;
 
 /// A lambda whose body is a bag (the shape of `flatMap` arguments).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct BagLambda {
     /// The bound element variable.
     pub param: String,
@@ -38,7 +38,7 @@ impl BagLambda {
 }
 
 /// A quoted `DataBag` expression.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum BagExpr {
     /// `read(source)`: a named dataset from the catalog/storage layer.
     Read {

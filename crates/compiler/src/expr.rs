@@ -17,7 +17,7 @@ use crate::bag_expr::BagExpr;
 use crate::value::Value;
 
 /// Binary operators.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Addition (ints, floats, vectors element-wise).
     Add,
@@ -48,7 +48,7 @@ pub enum BinOp {
 }
 
 /// Unary operators.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Logical negation.
     Not,
@@ -60,7 +60,7 @@ pub enum UnOp {
 ///
 /// These stand in for library calls the Scala embedding would see as opaque
 /// method calls; keeping them enumerated preserves analyzability.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BuiltinFn {
     /// Square root of a float.
     Sqrt,
@@ -134,7 +134,7 @@ impl BuiltinFn {
 
 /// The distinguishing tag of a reified fold. `Exists` is special-cased by the
 /// unnesting rule; the rest matter only for pretty printing and reports.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum FoldKind {
     /// Numeric sum.
     Sum,
@@ -162,7 +162,7 @@ pub enum FoldKind {
 
 /// A reified fold: `(zero, sng, uni)` in expression form, so the compiler can
 /// combine folds (banana split) and fuse them into groupings.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct FoldOp {
     /// Recognizable shape of the fold.
     pub kind: FoldKind,
@@ -364,7 +364,7 @@ impl FoldOp {
 }
 
 /// A lambda: named parameters over a scalar body.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Lambda {
     /// Parameter names bound in `body`.
     pub params: Vec<String>,
@@ -436,7 +436,7 @@ impl Lambda {
 }
 
 /// A scalar expression — the body language of UDFs and comprehension heads.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ScalarExpr {
     /// A literal value.
     Lit(Value),

@@ -91,6 +91,25 @@ impl<'a> Env<'a> {
             .ok_or_else(|| ValueError::UnboundVariable(name.to_string()))
     }
 
+    /// Pre-resolves base-scope bindings as outermost locals, so later
+    /// [`lookup`](Env::lookup)s of those names hit the linear local scan
+    /// instead of probing the base `HashMap` on every row.
+    ///
+    /// Names absent from the base scope are skipped (an actually-unbound
+    /// variable still errors at lookup time), and bindings pushed later —
+    /// lambda parameters, fold binders — shadow prefetched entries exactly
+    /// as they shadow base entries, so this is a pure lookup-cost
+    /// optimization with no semantic change.
+    pub fn prefetch(&mut self, names: impl IntoIterator<Item = &'a str>) {
+        for name in names {
+            if self.locals.iter().all(|(n, _)| *n != name) {
+                if let Some(v) = self.base.get(name) {
+                    self.locals.push((name, v.clone()));
+                }
+            }
+        }
+    }
+
     fn push(&mut self, name: &'a str, value: Value) {
         self.locals.push((name, value));
     }

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod bag_expr;
+pub mod compiled;
 pub mod comprehension;
 pub mod csvio;
 pub mod expr;
@@ -50,6 +51,7 @@ pub mod program;
 pub mod value;
 
 pub use bag_expr::{BagExpr, BagLambda};
+pub use compiled::{compile_bag_body, compile_lambda, CompiledBag, CompiledEval, Machine};
 pub use expr::{BinOp, BuiltinFn, FoldKind, FoldOp, Lambda, ScalarExpr, UnOp};
 pub use interp::{Catalog, Interp, RunOutput};
 pub use pipeline::{parallelize, CompiledProgram, OptimizationReport, OptimizerFlags};

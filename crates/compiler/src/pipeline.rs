@@ -45,6 +45,13 @@ pub struct OptimizerFlags {
     /// single per-partition [`Plan::Pipeline`] passes with no intermediate
     /// materialization.
     pub pipeline_fusion: bool,
+    /// Evaluate UDF lambdas through slot-compiled evaluators
+    /// ([`crate::compiled`]) instead of the reference tree-walking
+    /// interpreter. This is an engine *evaluation tier*, not one of the
+    /// paper's plan optimizations: it changes no plan, no rows, and no
+    /// deterministic cost-model counter, so it stays on even in
+    /// [`OptimizerFlags::none`] and exists purely as an escape hatch.
+    pub compiled_eval: bool,
 }
 
 impl OptimizerFlags {
@@ -58,6 +65,7 @@ impl OptimizerFlags {
             caching: true,
             partition_pulling: true,
             pipeline_fusion: true,
+            compiled_eval: true,
         }
     }
 
@@ -72,6 +80,8 @@ impl OptimizerFlags {
             caching: false,
             partition_pulling: false,
             pipeline_fusion: false,
+            // Not a plan optimization — execution-tier toggle, see above.
+            compiled_eval: true,
         }
     }
 
@@ -124,6 +134,12 @@ impl OptimizerFlags {
     /// Builder-style toggle.
     pub fn with_pipeline_fusion(mut self, on: bool) -> Self {
         self.pipeline_fusion = on;
+        self
+    }
+
+    /// Builder-style toggle for the compiled-evaluator escape hatch.
+    pub fn with_compiled_eval(mut self, on: bool) -> Self {
+        self.compiled_eval = on;
         self
     }
 }
@@ -309,6 +325,9 @@ pub struct CompiledProgram {
     pub body: Vec<CStmt>,
     /// Which optimizations fired.
     pub report: OptimizationReport,
+    /// Whether engines should evaluate UDFs through slot-compiled
+    /// evaluators (see [`OptimizerFlags::compiled_eval`]).
+    pub compiled_eval: bool,
 }
 
 /// Compiles a program — the `parallelize { … }` entry point.
@@ -333,7 +352,11 @@ pub fn parallelize(p: &Program, flags: &OptimizerFlags) -> CompiledProgram {
         crate::physical_pipeline::apply_pipeline_fusion(&mut body, &mut report);
     }
 
-    CompiledProgram { body, report }
+    CompiledProgram {
+        body,
+        report,
+        compiled_eval: flags.compiled_eval,
+    }
 }
 
 // ------------------------------------------------------------- compilation

@@ -1,0 +1,189 @@
+//! Differential property tests: the slot-based compiled evaluators
+//! ([`emma_compiler::compiled`]) must agree with the reference interpreter
+//! ([`emma_compiler::interp`]) on *every* expression — same `Value` on
+//! success, same `ValueError` on failure. The interpreter is the executable
+//! specification; this suite throws randomly generated (and mostly
+//! ill-typed) expression trees at both tiers and demands bit-for-bit equal
+//! `Result`s, covering the error paths hand-written tests rarely reach:
+//! type mismatches, division by zero, out-of-range field access, unbound
+//! variables, and shadowing through fold binders.
+
+use std::collections::HashMap;
+
+use emma_compiler::bag_expr::{BagExpr, BagLambda};
+use emma_compiler::compiled::{compile_bag_body, compile_lambda, Machine};
+use emma_compiler::expr::{BuiltinFn, FoldOp, Lambda, ScalarExpr};
+use emma_compiler::interp::{self, Catalog, Env};
+use emma_compiler::value::{Value, ValueError};
+use proptest::prelude::*;
+
+/// Variable pool the generator draws from. `x`/`y` are lambda parameters,
+/// `b0`/`b1` come from the broadcast base scope, `e` is only ever bound by a
+/// generated fold binder (unbound elsewhere), and `miss` is never bound —
+/// so both unbound-variable handling and shadowing get exercised.
+const VARS: [&str; 6] = ["x", "y", "b0", "b1", "e", "miss"];
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-8i64..=8).prop_map(Value::Int),
+        prop_oneof![
+            Just(-2.5f64),
+            Just(0.0f64),
+            Just(1.5f64),
+            Just(4.0f64),
+            Just(9.0f64)
+        ]
+        .prop_map(Value::Float),
+        "[a-z]{0,6}".prop_map(Value::str),
+        prop::collection::vec((-4i64..=4).prop_map(Value::Int), 0..3).prop_map(Value::tuple),
+    ]
+}
+
+fn leaf_strategy() -> impl Strategy<Value = ScalarExpr> {
+    prop_oneof![
+        value_strategy().prop_map(ScalarExpr::lit),
+        (0usize..VARS.len()).prop_map(|i| ScalarExpr::var(VARS[i])),
+    ]
+}
+
+/// A fold whose input bag, binder lambda, and aggregate are all drawn from
+/// generated parts. The binder is named `e`, shadowing any outer `e`.
+fn fold_strategy(inner: BoxedStrategy<ScalarExpr>) -> impl Strategy<Value = ScalarExpr> {
+    let bag = prop_oneof![
+        prop::collection::vec((-5i64..=5).prop_map(Value::Int), 0..4).prop_map(BagExpr::values),
+        Just(BagExpr::Ref { name: "b0".into() }),
+        Just(BagExpr::Ref {
+            name: "miss".into()
+        }),
+    ];
+    (bag, inner.clone(), inner, 0u8..4).prop_map(|(bag, body, pred, which)| match which {
+        0 => bag.map(Lambda::new(["e"], body)).fold(FoldOp::sum()),
+        1 => bag.filter(Lambda::new(["e"], pred)).fold(FoldOp::count()),
+        2 => bag
+            .flat_map(BagLambda::new("e", BagExpr::of_value(body)))
+            .fold(FoldOp::max()),
+        _ => ScalarExpr::BagOf(Box::new(bag.map(Lambda::new(["e"], body)).distinct())),
+    })
+}
+
+fn expr_strategy() -> BoxedStrategy<ScalarExpr> {
+    leaf_strategy().prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            // Binary operators, including the ones with error cases.
+            (inner.clone(), inner.clone(), 0u8..13).prop_map(|(a, b, op)| match op {
+                0 => a.add(b),
+                1 => a.sub(b),
+                2 => a.mul(b),
+                3 => a.div(b),
+                4 => a.rem(b),
+                5 => a.eq(b),
+                6 => a.ne(b),
+                7 => a.lt(b),
+                8 => a.le(b),
+                9 => a.gt(b),
+                10 => a.ge(b),
+                11 => a.and(b),
+                _ => a.or(b),
+            }),
+            inner.clone().prop_map(|a| a.not()),
+            (inner.clone(), 0usize..3).prop_map(|(a, i)| a.get(i)),
+            (inner.clone(), 0u8..4).prop_map(|(a, f)| match f {
+                0 => ScalarExpr::call(BuiltinFn::Abs, vec![a]),
+                1 => ScalarExpr::call(BuiltinFn::Sqrt, vec![a]),
+                2 => ScalarExpr::call(BuiltinFn::StrLen, vec![a]),
+                _ => ScalarExpr::call(BuiltinFn::HashOf, vec![a]),
+            }),
+            (inner.clone(), inner.clone(), 0u8..3).prop_map(|(a, b, f)| match f {
+                0 => ScalarExpr::call(BuiltinFn::MinOf, vec![a, b]),
+                1 => ScalarExpr::call(BuiltinFn::MaxOf, vec![a, b]),
+                _ => ScalarExpr::call(BuiltinFn::StrContains, vec![a, b]),
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| ScalarExpr::If(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(ScalarExpr::Tuple),
+            fold_strategy(inner),
+        ]
+    })
+}
+
+fn base_scope() -> HashMap<String, Value> {
+    let mut base = HashMap::new();
+    base.insert(
+        "b0".to_string(),
+        Value::bag(vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+    );
+    base.insert("b1".to_string(), Value::Int(7));
+    base
+}
+
+/// Evaluates `lam` on `args` through both tiers and asserts the full
+/// `Result<Value, ValueError>` is identical.
+fn assert_tiers_agree(lam: &Lambda, args: &[Value]) -> Result<(), TestCaseError> {
+    let base = base_scope();
+    let catalog = Catalog::new().with("xs", (0..6).map(Value::Int).collect::<Vec<_>>());
+
+    let mut env = Env::new(&base);
+    let want: Result<Value, ValueError> = interp::eval_lambda(lam, args, &mut env, &catalog);
+
+    let compiled = compile_lambda(lam);
+    let caps = compiled.bind(&base);
+    let mut m = Machine::new();
+    let got = compiled.eval(args, &caps, &mut m, &catalog);
+
+    prop_assert_eq!(&want, &got, "tier divergence on {:?}", lam);
+
+    // Machines are reused across rows by the engine: a second evaluation on
+    // the same machine must not be affected by leftover state.
+    let again = compiled.eval(args, &caps, &mut m, &catalog);
+    prop_assert_eq!(&want, &again, "machine reuse divergence on {:?}", lam);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compiled_lambda_matches_interpreter(
+        body in expr_strategy(),
+        ax in value_strategy(),
+        ay in value_strategy(),
+    ) {
+        let lam = Lambda::new(["x", "y"], body);
+        assert_tiers_agree(&lam, &[ax, ay])?;
+    }
+
+    #[test]
+    fn compiled_bag_body_matches_interpreter(
+        head in expr_strategy(),
+        pred in expr_strategy(),
+        arg in value_strategy(),
+        shape in 0u8..4,
+    ) {
+        // FlatMap bodies the engine compiles: the element parameter is `x`.
+        let body = match shape {
+            0 => BagExpr::of_value(head),
+            1 => BagExpr::Ref { name: "b0".into() }.map(Lambda::new(["e"], head)),
+            2 => BagExpr::of_value(head).filter(Lambda::new(["e"], pred)),
+            _ => BagExpr::of_value(head).plus(
+                BagExpr::Ref { name: "b0".into() }.filter(Lambda::new(["e"], pred)),
+            ),
+        };
+        let base = base_scope();
+        let catalog = Catalog::new();
+
+        let mut env = Env::new(&base);
+        let want = interp::eval_bag_with_binding(&body, "x", arg.clone(), &mut env, &catalog);
+
+        let compiled = compile_bag_body("x", &body);
+        let caps = compiled.bind(&base);
+        let mut m = Machine::new();
+        let got = compiled.eval(arg, &caps, &mut m, &catalog);
+
+        prop_assert_eq!(want, got, "bag tier divergence on {:?}", body);
+    }
+}

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use std::sync::Mutex;
 
 use emma_compiler::bag_expr::BagExpr;
+use emma_compiler::compiled::{self, CompiledBag, CompiledEval, Machine};
 use emma_compiler::expr::{FoldOp, Lambda, ScalarExpr};
 use emma_compiler::interp::{self, Catalog, Env};
 use emma_compiler::pipeline::{AuxDef, CRValue, CStmt, CompiledProgram};
@@ -203,6 +204,9 @@ impl Engine {
                 self.worker_threads,
                 self.parallelism_threshold,
             ),
+            compiled: prog.compiled_eval,
+            lam_cache: HashMap::new(),
+            bag_cache: HashMap::new(),
         };
         session.exec_stmts(&prog.body)?;
         let mut scalars = HashMap::new();
@@ -237,6 +241,147 @@ enum PlanResult {
     Scalar(Value),
 }
 
+/// Mutable per-task evaluation state: an interpreter [`Env`] over the
+/// broadcast base scope, or a compiled-evaluator [`Machine`]. One context is
+/// created per partition task and reused across its rows.
+enum EvCtx<'b> {
+    Env(Env<'b>),
+    Machine(Machine),
+}
+
+/// A scalar UDF readied for per-row evaluation: either the reference
+/// interpreter with its base-scope lookups pre-resolved ([`Env::prefetch`]),
+/// or a slot-compiled evaluator with its capture slots bound. Built once per
+/// operator execution by [`Session::prepare_lambda`].
+enum PreparedScalar<'p> {
+    Interp {
+        lam: &'p Lambda,
+        /// Every name the body references — prefetched into the `Env` so
+        /// per-row lookups scan locals instead of probing the base map.
+        prefetch: Vec<&'p str>,
+    },
+    Compiled {
+        code: Arc<CompiledEval>,
+        caps: Vec<Option<Value>>,
+    },
+}
+
+impl<'p> PreparedScalar<'p> {
+    /// A fresh per-task evaluation context over `base`.
+    fn ctx<'b>(&self, base: &'b HashMap<String, Value>) -> EvCtx<'b>
+    where
+        'p: 'b,
+    {
+        match self {
+            PreparedScalar::Interp { prefetch, .. } => {
+                let mut env = Env::new(base);
+                let names: &[&'b str] = prefetch.as_slice();
+                env.prefetch(names.iter().copied());
+                EvCtx::Env(env)
+            }
+            PreparedScalar::Compiled { .. } => EvCtx::Machine(Machine::new()),
+        }
+    }
+
+    /// Applies the UDF to argument values.
+    fn call<'b>(
+        &self,
+        args: &[Value],
+        cx: &mut EvCtx<'b>,
+        catalog: &Catalog,
+    ) -> Result<Value, ValueError>
+    where
+        'p: 'b,
+    {
+        match (self, cx) {
+            (PreparedScalar::Interp { lam, .. }, EvCtx::Env(env)) => {
+                interp::eval_lambda(lam, args, env, catalog)
+            }
+            (PreparedScalar::Compiled { code, caps }, EvCtx::Machine(m)) => {
+                code.eval(args, caps, m, catalog)
+            }
+            _ => unreachable!("context built by a different evaluation tier"),
+        }
+    }
+}
+
+/// A FlatMap body readied for per-row evaluation; see [`PreparedScalar`].
+enum PreparedBag<'p> {
+    Interp {
+        param: &'p str,
+        body: &'p BagExpr,
+        prefetch: Vec<&'p str>,
+    },
+    Compiled {
+        code: Arc<CompiledBag>,
+        caps: Vec<Option<Value>>,
+    },
+}
+
+impl<'p> PreparedBag<'p> {
+    fn ctx<'b>(&self, base: &'b HashMap<String, Value>) -> EvCtx<'b>
+    where
+        'p: 'b,
+    {
+        match self {
+            PreparedBag::Interp { prefetch, .. } => {
+                let mut env = Env::new(base);
+                let names: &[&'b str] = prefetch.as_slice();
+                env.prefetch(names.iter().copied());
+                EvCtx::Env(env)
+            }
+            PreparedBag::Compiled { .. } => EvCtx::Machine(Machine::new()),
+        }
+    }
+
+    /// Evaluates the body with the element parameter bound to `row`.
+    fn call<'b>(
+        &self,
+        row: Value,
+        cx: &mut EvCtx<'b>,
+        catalog: &Catalog,
+    ) -> Result<Vec<Value>, ValueError>
+    where
+        'p: 'b,
+    {
+        match (self, cx) {
+            (PreparedBag::Interp { param, body, .. }, EvCtx::Env(env)) => {
+                interp::eval_bag_with_binding(body, param, row, env, catalog)
+            }
+            (PreparedBag::Compiled { code, caps }, EvCtx::Machine(m)) => {
+                code.eval(row, caps, m, catalog)
+            }
+            _ => unreachable!("context built by a different evaluation tier"),
+        }
+    }
+}
+
+/// A fused pipeline stage with its UDF prepared for the active tier.
+enum PreparedStage<'p> {
+    Map(PreparedScalar<'p>),
+    Filter(PreparedScalar<'p>),
+    FlatMap(PreparedBag<'p>),
+}
+
+impl<'p> PreparedStage<'p> {
+    fn ctx<'b>(&self, base: &'b HashMap<String, Value>) -> EvCtx<'b>
+    where
+        'p: 'b,
+    {
+        match self {
+            PreparedStage::Map(f) | PreparedStage::Filter(f) => f.ctx(base),
+            PreparedStage::FlatMap(b) => b.ctx(base),
+        }
+    }
+}
+
+/// Shuffle output keys, carried per output partition in row order as
+/// `(hash, key)` pairs so downstream consumers (hash-join build/probe,
+/// `aggBy` combining, group materialization, stateful routing) never
+/// re-evaluate the key UDF or re-hash. `None` when the input layout already
+/// satisfied the requested partitioning (no shuffle ran).
+type KeyCarriage = Option<Vec<Vec<(u64, Value)>>>;
+
 struct Session<'a> {
     engine: &'a Engine,
     catalog: &'a Catalog,
@@ -253,6 +398,15 @@ struct Session<'a> {
     /// Per-run parallel-execution context: dispatch mode, cached thread
     /// count, row gate, and (in pool mode) the persistent worker pool.
     par: Parallelism,
+    /// Whether UDFs run through slot-compiled evaluators
+    /// ([`emma_compiler::compiled`]) instead of the reference interpreter.
+    compiled: bool,
+    /// Per-run compilation memo: each distinct lambda AST is lowered once,
+    /// however many operator executions (loop iterations, re-forced thunks)
+    /// evaluate it.
+    lam_cache: HashMap<Lambda, Arc<CompiledEval>>,
+    /// Compilation memo for FlatMap bodies, keyed by `(param, body)`.
+    bag_cache: HashMap<(String, BagExpr), Arc<CompiledBag>>,
 }
 
 impl<'a> Session<'a> {
@@ -282,6 +436,65 @@ impl<'a> Session<'a> {
 
     fn snapshot(&self) -> EnvSnapshot {
         Arc::new(self.env.clone())
+    }
+
+    // ------------------------------------------------------ UDF preparation
+
+    /// Readies a scalar UDF for per-row evaluation under the active tier:
+    /// compiled (memoized lowering + capture binding against `base`) or
+    /// interpreted (base-scope prefetch).
+    fn prepare_lambda<'p>(
+        &mut self,
+        lam: &'p Lambda,
+        base: &HashMap<String, Value>,
+    ) -> PreparedScalar<'p> {
+        if self.compiled {
+            let code = match self.lam_cache.get(lam) {
+                Some(c) => Arc::clone(c),
+                None => {
+                    let c = Arc::new(compiled::compile_lambda(lam));
+                    self.lam_cache.insert(lam.clone(), Arc::clone(&c));
+                    c
+                }
+            };
+            let caps = code.bind(base);
+            PreparedScalar::Compiled { code, caps }
+        } else {
+            let mut prefetch = Vec::new();
+            compiled::scalar_var_names(&lam.body, &mut prefetch);
+            PreparedScalar::Interp { lam, prefetch }
+        }
+    }
+
+    /// Readies a FlatMap body for per-row evaluation (see
+    /// [`prepare_lambda`](Self::prepare_lambda)).
+    fn prepare_bag<'p>(
+        &mut self,
+        param: &'p str,
+        body: &'p BagExpr,
+        base: &HashMap<String, Value>,
+    ) -> PreparedBag<'p> {
+        if self.compiled {
+            let code = match self.bag_cache.get(&(param.to_string(), body.clone())) {
+                Some(c) => Arc::clone(c),
+                None => {
+                    let c = Arc::new(compiled::compile_bag_body(param, body));
+                    self.bag_cache
+                        .insert((param.to_string(), body.clone()), Arc::clone(&c));
+                    c
+                }
+            };
+            let caps = code.bind(base);
+            PreparedBag::Compiled { code, caps }
+        } else {
+            let mut prefetch = Vec::new();
+            compiled::bag_var_names(body, &mut prefetch);
+            PreparedBag::Interp {
+                param,
+                body,
+                prefetch,
+            }
+        }
     }
 
     // ------------------------------------------------------------ statements
@@ -377,21 +590,22 @@ impl<'a> Session<'a> {
             CStmt::StatefulCreate { name, plan, key } => {
                 let env = self.snapshot();
                 let d = self.exec_bag(plan, &env)?;
-                let shuffled = self.shuffle(d, key, &env)?;
+                let (shuffled, carried) = self.shuffle_keyed(d, key, &env)?;
                 let base = self.eval_base_for_lambdas(&[key], &env)?;
-                let mut ev = Env::new(&base);
+                let key_prep = self.prepare_lambda(key, &base);
+                let mut cx = key_prep.ctx(&base);
                 let mut parts = Vec::with_capacity(shuffled.parts.len());
-                for part in &shuffled.parts {
+                for (pi, part) in shuffled.parts.iter().enumerate() {
                     let mut order: Vec<Value> = Vec::new();
                     let mut entries: HashMap<Value, Value> = HashMap::new();
-                    for row in part.iter() {
-                        let k = interp::eval_lambda(
-                            key,
-                            std::slice::from_ref(row),
-                            &mut ev,
-                            self.catalog,
-                        )
-                        .map_err(ExecError::Eval)?;
+                    for (ri, row) in part.iter().enumerate() {
+                        // The shuffle already evaluated the key for this row.
+                        let k = match &carried {
+                            Some(keys) => keys[pi][ri].1.clone(),
+                            None => key_prep
+                                .call(std::slice::from_ref(row), &mut cx, self.catalog)
+                                .map_err(ExecError::Eval)?,
+                        };
                         if entries.insert(k.clone(), row.clone()).is_none() {
                             order.push(k);
                         }
@@ -418,7 +632,7 @@ impl<'a> Session<'a> {
                 let msgs = self.exec_bag(messages, &env)?;
                 // Route messages to their state elements: a shuffle on the
                 // message key, colocated with the state partitioning.
-                let routed = self.shuffle(msgs, message_key, &env)?;
+                let (routed, carried) = self.shuffle_keyed(msgs, message_key, &env)?;
                 let state_binding =
                     self.env.get(state).cloned().ok_or_else(|| {
                         ExecError::Eval(ValueError::UnboundVariable(state.clone()))
@@ -429,7 +643,10 @@ impl<'a> Session<'a> {
                     ))));
                 };
                 let base = self.eval_base_for_lambdas(&[message_key, update], &env)?;
-                let mut ev = Env::new(&base);
+                let mk_prep = self.prepare_lambda(message_key, &base);
+                let up_prep = self.prepare_lambda(update, &base);
+                let mut mcx = mk_prep.ctx(&base);
+                let mut ucx = up_prep.ctx(&base);
                 let mut st = cell.lock().unwrap();
                 let nparts = st.parts.len().max(1);
                 let mut delta_parts: Vec<Vec<Value>> = vec![Vec::new(); nparts];
@@ -438,27 +655,23 @@ impl<'a> Session<'a> {
                     let slot = pi % nparts;
                     let mut changed_keys: Vec<Value> = Vec::new();
                     let mut changed: HashMap<Value, Value> = HashMap::new();
-                    for msg in part.iter() {
+                    for (mi, msg) in part.iter().enumerate() {
                         processed += 1;
-                        let k = interp::eval_lambda(
-                            message_key,
-                            std::slice::from_ref(msg),
-                            &mut ev,
-                            self.catalog,
-                        )
-                        .map_err(ExecError::Eval)?;
+                        // The routing shuffle already evaluated the key.
+                        let k = match &carried {
+                            Some(keys) => keys[pi][mi].1.clone(),
+                            None => mk_prep
+                                .call(std::slice::from_ref(msg), &mut mcx, self.catalog)
+                                .map_err(ExecError::Eval)?,
+                        };
                         // State was hash-partitioned by key with the same
                         // partition count, so the entry (if any) is local.
                         let Some(current) = st.parts[slot].1.get(&k) else {
                             continue;
                         };
-                        let new = interp::eval_lambda(
-                            update,
-                            &[current.clone(), msg.clone()],
-                            &mut ev,
-                            self.catalog,
-                        )
-                        .map_err(ExecError::Eval)?;
+                        let new = up_prep
+                            .call(&[current.clone(), msg.clone()], &mut ucx, self.catalog)
+                            .map_err(ExecError::Eval)?;
                         if !new.is_null() {
                             st.parts[slot].1.insert(k.clone(), new.clone());
                             if changed.insert(k.clone(), new).is_none() {
@@ -629,15 +842,14 @@ impl<'a> Session<'a> {
                 let d = self.exec_bag(input, env)?;
                 let base = self.eval_base_for_lambdas(&[f], env)?;
                 self.charge_broadcast_scans(&f.body, &base, d.max_part_rows())?;
+                let f_prep = self.prepare_lambda(f, &base);
                 let catalog = self.catalog;
                 let parts = self
                     .par
                     .run_rows(&d.parts, d.total_rows(), |rows| {
-                        let mut ev = Env::new(&base);
+                        let mut cx = f_prep.ctx(&base);
                         rows.iter()
-                            .map(|row| {
-                                interp::eval_lambda(f, std::slice::from_ref(row), &mut ev, catalog)
-                            })
+                            .map(|row| f_prep.call(std::slice::from_ref(row), &mut cx, catalog))
                             .collect()
                     })
                     .map_err(ExecError::Eval)?;
@@ -661,14 +873,16 @@ impl<'a> Session<'a> {
                 let d = self.exec_bag(input, env)?;
                 let base = self.eval_base_for_lambdas(&[p], env)?;
                 self.charge_broadcast_scans(&p.body, &base, d.max_part_rows())?;
+                let p_prep = self.prepare_lambda(p, &base);
                 let catalog = self.catalog;
                 let parts = self
                     .par
                     .run_rows(&d.parts, d.total_rows(), |rows| {
-                        let mut ev = Env::new(&base);
+                        let mut cx = p_prep.ctx(&base);
                         let mut out = Vec::new();
                         for row in rows {
-                            if interp::eval_lambda(p, std::slice::from_ref(row), &mut ev, catalog)?
+                            if p_prep
+                                .call(std::slice::from_ref(row), &mut cx, catalog)?
                                 .as_bool()?
                             {
                                 out.push(row.clone());
@@ -687,21 +901,16 @@ impl<'a> Session<'a> {
             Plan::FlatMap { input, param, body } => {
                 let d = self.exec_bag(input, env)?;
                 let base = self.eval_base_for_bag_exprs(&[body], env)?;
+                let b_prep = self.prepare_bag(param, body, &base);
                 let catalog = self.catalog;
                 let results = self
                     .par
                     .run_wide(d.parts.len(), d.total_rows(), |pi| {
                         let mut out = Vec::new();
-                        let mut ev = Env::new(&base);
+                        let mut cx = b_prep.ctx(&base);
                         let mut produced = 0u64;
                         for row in d.parts[pi].iter() {
-                            let inner = interp::eval_bag_with_binding(
-                                body,
-                                param,
-                                row.clone(),
-                                &mut ev,
-                                catalog,
-                            )?;
+                            let inner = b_prep.call(row.clone(), &mut cx, catalog)?;
                             produced += inner.len() as u64;
                             out.extend(inner);
                         }
@@ -731,29 +940,29 @@ impl<'a> Session<'a> {
                 let mut ev = Env::new(&base);
                 let zero = interp::eval_scalar(&fold.zero, &mut ev, self.catalog)
                     .map_err(ExecError::Eval)?;
+                let sng_prep = self.prepare_lambda(&fold.sng, &base);
+                let uni_prep = self.prepare_lambda(&fold.uni, &base);
                 // Fold each partition locally, ship partials, combine.
                 let catalog = self.catalog;
                 let partials = self
                     .par
                     .run_wide(d.parts.len(), d.total_rows(), |pi| {
-                        let mut ev = Env::new(&base);
+                        let mut scx = sng_prep.ctx(&base);
+                        let mut ucx = uni_prep.ctx(&base);
                         let mut acc = zero.clone();
                         for row in d.parts[pi].iter() {
-                            let s = interp::eval_lambda(
-                                &fold.sng,
-                                std::slice::from_ref(row),
-                                &mut ev,
-                                catalog,
-                            )?;
-                            acc = interp::eval_lambda(&fold.uni, &[acc, s], &mut ev, catalog)?;
+                            let s = sng_prep.call(std::slice::from_ref(row), &mut scx, catalog)?;
+                            acc = uni_prep.call(&[acc, s], &mut ucx, catalog)?;
                         }
                         Ok(acc)
                     })
                     .map_err(ExecError::Eval)?;
                 let partial_bytes: u64 = partials.iter().map(Value::approx_bytes).sum();
                 let mut acc = zero;
+                let mut ucx = uni_prep.ctx(&base);
                 for p in partials {
-                    acc = interp::eval_lambda(&fold.uni, &[acc, p], &mut ev, self.catalog)
+                    acc = uni_prep
+                        .call(&[acc, p], &mut ucx, self.catalog)
                         .map_err(ExecError::Eval)?;
                 }
                 self.stats.stages += 1;
@@ -813,22 +1022,23 @@ impl<'a> Session<'a> {
             }
             Plan::GroupBy { input, key } => {
                 let d = self.exec_bag(input, env)?;
-                let shuffled = self.shuffle(d, key, env)?;
+                let (shuffled, carried) = self.shuffle_keyed(d, key, env)?;
                 // Materialize groups per partition; charge memory pressure.
                 let base = self.eval_base_for_lambdas(&[key], env)?;
+                let key_prep = self.prepare_lambda(key, &base);
                 let mut parts = Vec::with_capacity(shuffled.parts.len());
-                for part in &shuffled.parts {
-                    let mut ev = Env::new(&base);
+                for (pi, part) in shuffled.parts.iter().enumerate() {
+                    let mut cx = key_prep.ctx(&base);
                     let mut order: Vec<Value> = Vec::new();
                     let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
-                    for row in part.iter() {
-                        let k = interp::eval_lambda(
-                            key,
-                            std::slice::from_ref(row),
-                            &mut ev,
-                            self.catalog,
-                        )
-                        .map_err(ExecError::Eval)?;
+                    for (ri, row) in part.iter().enumerate() {
+                        // The shuffle already evaluated the key for this row.
+                        let k = match &carried {
+                            Some(keys) => keys[pi][ri].1.clone(),
+                            None => key_prep
+                                .call(std::slice::from_ref(row), &mut cx, self.catalog)
+                                .map_err(ExecError::Eval)?,
+                        };
                         let e = groups.entry(k.clone()).or_default();
                         if e.is_empty() {
                             order.push(k);
@@ -951,6 +1161,20 @@ impl<'a> Session<'a> {
                     };
                     bases.push(base);
                 }
+                let mut prepared: Vec<PreparedStage> = Vec::with_capacity(stages.len());
+                for (stage, base) in stages.iter().zip(&bases) {
+                    prepared.push(match stage {
+                        PipelineStage::Map { f } => {
+                            PreparedStage::Map(self.prepare_lambda(f, base))
+                        }
+                        PipelineStage::Filter { p } => {
+                            PreparedStage::Filter(self.prepare_lambda(p, base))
+                        }
+                        PipelineStage::FlatMap { param, body } => {
+                            PreparedStage::FlatMap(self.prepare_bag(param, body, base))
+                        }
+                    });
+                }
                 // The first stage's broadcast-scan charge is known before any
                 // row runs — charge it up front so a quadratic scan still
                 // aborts on the simulated clock instead of really executing.
@@ -997,7 +1221,13 @@ impl<'a> Session<'a> {
                 let results = self
                     .par
                     .run_indexed(d.parts.len(), d.total_rows(), |pi| {
-                        run_pipeline_partition(&d.parts[pi], stages, &bases, catalog, &need_bytes)
+                        run_pipeline_partition(
+                            &d.parts[pi],
+                            &prepared,
+                            &bases,
+                            catalog,
+                            &need_bytes,
+                        )
                     })
                     .map_err(ExecError::Eval)?;
                 let mut parts = Vec::with_capacity(results.len());
@@ -1109,7 +1339,12 @@ impl<'a> Session<'a> {
         self.stats.stages += 1;
         self.stats.charge_secs(self.personality().stage_overhead);
 
-        let (lwork, rrows_by_part): (Partitioned, Vec<Vec<Value>>) = match strategy {
+        let (lwork, rrows_by_part, lkeys, rkeys): (
+            Partitioned,
+            Vec<Vec<Value>>,
+            KeyCarriage,
+            KeyCarriage,
+        ) = match strategy {
             JoinStrategy::Broadcast => {
                 // Ship the entire right side to every node; left stays put.
                 self.stats
@@ -1117,54 +1352,94 @@ impl<'a> Session<'a> {
                 self.charge_broadcast(r.total_bytes());
                 let rows = r.collect_rows();
                 let n = l.parts.len();
-                (l, vec![rows; n])
+                (l, vec![rows; n], None, None)
             }
             JoinStrategy::Repartition | JoinStrategy::Auto => {
-                let ls = self.shuffle(l, lkey, env)?;
-                let rs = self.shuffle(r, rkey, env)?;
-                let rparts: Vec<Vec<Value>> = rs.parts.iter().map(|p| p.as_ref().clone()).collect();
-                (ls, rparts)
+                let (ls, lk) = self.shuffle_keyed(l, lkey, env)?;
+                let (rs, rk) = self.shuffle_keyed(r, rkey, env)?;
+                // The shuffle output is uniquely owned — move the right rows
+                // out instead of cloning them partition by partition.
+                let rparts: Vec<Vec<Value>> = rs
+                    .parts
+                    .into_iter()
+                    .map(|p| Arc::try_unwrap(p).unwrap_or_else(|shared| shared.as_ref().clone()))
+                    .collect();
+                (ls, rparts, lk, rk)
             }
         };
 
+        let lk_prep = self.prepare_lambda(lkey, &base);
+        let rk_prep = self.prepare_lambda(rkey, &base);
+        let res_prep = residual.map(|res| self.prepare_lambda(res, &base));
+
         // Build hash tables on the right, probe with the left — one
         // build+probe task per left partition, fanned out on the pool.
+        // After a repartition the key hashes rode along from the shuffle, so
+        // build and probe never re-evaluate a key UDF or re-hash; the table
+        // maps hash → right-row slots (ascending slot order = the per-key
+        // match order the keyed table produced), with collisions resolved by
+        // key equality at probe time.
         let catalog = self.catalog;
         let probe_rows: u64 =
             lwork.total_rows() + rrows_by_part.iter().map(|p| p.len() as u64).sum::<u64>();
         let outs = self
             .par
             .run_wide(lwork.parts.len(), probe_rows, |pi| {
-                let mut ev = Env::new(&base);
+                let mut rcx = rk_prep.ctx(&base);
+                let mut lcx = lk_prep.ctx(&base);
+                let mut rescx = res_prep.as_ref().map(|p| p.ctx(&base));
                 let lpart = &lwork.parts[pi];
-                let rrows = &rrows_by_part[pi.min(rrows_by_part.len() - 1)];
-                let mut table: HashMap<Value, Vec<&Value>> = HashMap::new();
-                for rrow in rrows {
-                    let k =
-                        interp::eval_lambda(rkey, std::slice::from_ref(rrow), &mut ev, catalog)?;
-                    table.entry(k).or_default().push(rrow);
+                let ri = pi.min(rrows_by_part.len() - 1);
+                let rrows = &rrows_by_part[ri];
+                let computed: Vec<(u64, Value)>;
+                let rkv: &[(u64, Value)] = match &rkeys {
+                    Some(keys) => &keys[ri],
+                    None => {
+                        computed = rrows
+                            .iter()
+                            .map(|rrow| {
+                                let k =
+                                    rk_prep.call(std::slice::from_ref(rrow), &mut rcx, catalog)?;
+                                Ok((value_hash(&k), k))
+                            })
+                            .collect::<Result<_, ValueError>>()?;
+                        &computed
+                    }
+                };
+                let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+                for (slot, (h, _)) in rkv.iter().enumerate() {
+                    table.entry(*h).or_default().push(slot);
                 }
+                let lkeys_part: Option<&[(u64, Value)]> =
+                    lkeys.as_ref().map(|keys| keys[pi].as_slice());
                 let mut out = Vec::new();
-                for lrow in lpart.iter() {
-                    let k =
-                        interp::eval_lambda(lkey, std::slice::from_ref(lrow), &mut ev, catalog)?;
-                    let matches = table.get(&k).map(Vec::as_slice).unwrap_or(&[]);
+                for (li, lrow) in lpart.iter().enumerate() {
+                    let lk_owned: Value;
+                    let (h, k): (u64, &Value) = match lkeys_part {
+                        Some(keys) => (keys[li].0, &keys[li].1),
+                        None => {
+                            lk_owned =
+                                lk_prep.call(std::slice::from_ref(lrow), &mut lcx, catalog)?;
+                            (value_hash(&lk_owned), &lk_owned)
+                        }
+                    };
+                    let slots = table.get(&h).map(Vec::as_slice).unwrap_or(&[]);
                     let mut any = false;
-                    for rrow in matches {
-                        let pass = match residual {
-                            Some(res) => interp::eval_lambda(
-                                res,
-                                &[lrow.clone(), (*rrow).clone()],
-                                &mut ev,
-                                catalog,
-                            )?
-                            .as_bool()?,
-                            None => true,
+                    for &slot in slots {
+                        if rkv[slot].1 != *k {
+                            continue;
+                        }
+                        let rrow = &rrows[slot];
+                        let pass = match (&res_prep, &mut rescx) {
+                            (Some(res), Some(cx)) => res
+                                .call(&[lrow.clone(), rrow.clone()], cx, catalog)?
+                                .as_bool()?,
+                            _ => true,
                         };
                         if pass {
                             any = true;
                             if kind == JoinKind::Inner {
-                                out.push(Value::tuple(vec![lrow.clone(), (*rrow).clone()]));
+                                out.push(Value::tuple(vec![lrow.clone(), rrow.clone()]));
                             } else {
                                 break;
                             }
@@ -1226,52 +1501,44 @@ impl<'a> Session<'a> {
         let mut ev = Env::new(&base);
         let zero =
             interp::eval_scalar(&fold.zero, &mut ev, self.catalog).map_err(ExecError::Eval)?;
+        let key_prep = self.prepare_lambda(key, &base2);
+        let sng_prep = self.prepare_lambda(&fold.sng, &base);
+        let uni_prep = self.prepare_lambda(&fold.uni, &base);
 
         // Combiner phase: per-partition partial aggregation, one
-        // insertion-ordered map per partition, fanned out on the pool.
+        // insertion-ordered map per partition, fanned out on the pool. The
+        // key hash is computed once per row and carried with each partial so
+        // neither the partial shuffle nor the merge phase re-hashes.
         let catalog = self.catalog;
         let partial_lists = self
             .par
             .run_wide(d.parts.len(), d.total_rows(), |pi| {
-                let mut ev = Env::new(&base);
-                let mut evk = Env::new(&base2);
-                let mut accs: InsertionMap<Value, Value> = InsertionMap::new();
+                let mut cx = sng_prep.ctx(&base);
+                let mut ucx = uni_prep.ctx(&base);
+                let mut kcx = key_prep.ctx(&base2);
+                let mut accs: InsertionMap<Value, (u64, Value)> = InsertionMap::new();
                 for row in d.parts[pi].iter() {
-                    let k = interp::eval_lambda(key, std::slice::from_ref(row), &mut evk, catalog)?;
-                    let s = interp::eval_lambda(
-                        &fold.sng,
-                        std::slice::from_ref(row),
-                        &mut ev,
-                        catalog,
-                    )?;
-                    match accs.get_mut(&k) {
-                        Some(acc) => {
-                            let merged = interp::eval_lambda(
-                                &fold.uni,
-                                &[acc.clone(), s],
-                                &mut ev,
-                                catalog,
-                            )?;
+                    let k = key_prep.call(std::slice::from_ref(row), &mut kcx, catalog)?;
+                    let h = value_hash(&k);
+                    let s = sng_prep.call(std::slice::from_ref(row), &mut cx, catalog)?;
+                    match accs.get_mut_hashed(h, &k) {
+                        Some((_, acc)) => {
+                            let merged = uni_prep.call(&[acc.clone(), s], &mut ucx, catalog)?;
                             *acc = merged;
                         }
                         None => {
-                            let first = interp::eval_lambda(
-                                &fold.uni,
-                                &[zero.clone(), s],
-                                &mut ev,
-                                catalog,
-                            )?;
-                            accs.entry_or_insert_with(&k, || first);
+                            let first = uni_prep.call(&[zero.clone(), s], &mut ucx, catalog)?;
+                            accs.insert_hashed(h, &k, || (h, first));
                         }
                     }
                 }
                 Ok(accs
                     .into_iter()
-                    .map(|(k, acc)| Value::tuple(vec![k, acc]))
+                    .map(|(k, (h, acc))| (h, Value::tuple(vec![k, acc])))
                     .collect::<Vec<_>>())
             })
             .map_err(ExecError::Eval)?;
-        let mut partials: Vec<Value> = Vec::new();
+        let mut partials: Vec<(u64, Value)> = Vec::new();
         for list in partial_lists {
             partials.extend(list);
         }
@@ -1281,32 +1548,46 @@ impl<'a> Session<'a> {
             key.static_cost() + fold.sng.static_cost() + fold.uni.static_cost(),
         );
 
-        // Shuffle only the partial aggregates (one per key per partition).
-        let partial_set = Partitioned::from_rows(partials, d.parts.len().max(1));
-        let key0 = Lambda::new(["t"], ScalarExpr::var("t").get(0));
-        let shuffled = self.shuffle(partial_set, &key0, env)?;
+        // Shuffle only the partial aggregates (one per key per partition),
+        // bucketed directly by the hashes the combiner carried — the generic
+        // shuffle would re-evaluate a `t.0` key extractor on every partial
+        // and re-hash. Bucket order over the flattened partials equals the
+        // generic path's partition-spliced order, and the charges are issued
+        // by the same [`charge_shuffle`](Self::charge_shuffle).
+        let parts_n = self.dop();
+        let mut rows_b: Vec<Vec<Value>> = (0..parts_n).map(|_| Vec::new()).collect();
+        let mut hash_b: Vec<Vec<u64>> = (0..parts_n).map(|_| Vec::new()).collect();
+        for (h, row) in partials {
+            let b = (h % parts_n as u64) as usize;
+            rows_b[b].push(row);
+            hash_b[b].push(h);
+        }
+        let shuffled = Partitioned {
+            parts: rows_b.into_iter().map(Arc::new).collect(),
+            partitioning: Some(Partitioning {
+                key: Lambda::new(["t"], ScalarExpr::var("t").get(0)),
+                parts: parts_n,
+            }),
+        };
+        self.charge_shuffle(&shuffled, parts_n);
 
-        // Merge phase: same insertion-ordered per-partition reduction.
+        // Merge phase: same insertion-ordered per-partition reduction,
+        // looking partials up by their carried hashes.
         let merged_lists = self
             .par
             .run_wide(shuffled.parts.len(), shuffled.total_rows(), |pi| {
-                let mut ev = Env::new(&base);
+                let mut ucx = uni_prep.ctx(&base);
                 let mut accs: InsertionMap<Value, Value> = InsertionMap::new();
-                for row in shuffled.parts[pi].iter() {
+                for (row, &h) in shuffled.parts[pi].iter().zip(&hash_b[pi]) {
                     let k = row.field(0)?.clone();
                     let a = row.field(1)?.clone();
-                    match accs.get_mut(&k) {
+                    match accs.get_mut_hashed(h, &k) {
                         Some(acc) => {
-                            let merged = interp::eval_lambda(
-                                &fold.uni,
-                                &[acc.clone(), a],
-                                &mut ev,
-                                catalog,
-                            )?;
+                            let merged = uni_prep.call(&[acc.clone(), a], &mut ucx, catalog)?;
                             *acc = merged;
                         }
                         None => {
-                            accs.entry_or_insert_with(&k, || a);
+                            accs.insert_hashed(h, &k, || a);
                         }
                     }
                 }
@@ -1435,34 +1716,86 @@ impl<'a> Session<'a> {
         key: &Lambda,
         env: &EnvSnapshot,
     ) -> Result<Partitioned, ExecError> {
+        Ok(self.shuffle_keyed(d, key, env)?.0)
+    }
+
+    /// [`shuffle`](Self::shuffle), additionally returning the `(hash, key)`
+    /// pairs it computed, aligned row-for-row with the output partitions —
+    /// so consumers reuse them instead of re-evaluating the key UDF.
+    ///
+    /// Rows move: uniquely-owned input partitions are drained in place
+    /// (`Arc::try_unwrap`), so only shared inputs — cached thunk results
+    /// still referenced elsewhere — pay a per-row clone.
+    fn shuffle_keyed(
+        &mut self,
+        d: Partitioned,
+        key: &Lambda,
+        env: &EnvSnapshot,
+    ) -> Result<(Partitioned, KeyCarriage), ExecError> {
         let parts_n = self.dop();
         if let Some(p) = &d.partitioning {
             if p.satisfies(key, parts_n) {
-                return Ok(d);
+                return Ok((d, None));
             }
         }
         let base = self.eval_base_for_lambdas(&[key], env)?;
+        let total_rows = d.total_rows();
+        let nsrc = d.parts.len();
+        enum Source {
+            Owned(Mutex<Option<Vec<Value>>>),
+            Shared(Arc<Vec<Value>>),
+        }
+        let sources: Vec<Source> = d
+            .parts
+            .into_iter()
+            .map(|p| match Arc::try_unwrap(p) {
+                Ok(rows) => Source::Owned(Mutex::new(Some(rows))),
+                Err(shared) => Source::Shared(shared),
+            })
+            .collect();
+        let key_prep = self.prepare_lambda(key, &base);
         // Bucket each source partition on the pool, then splice the
         // per-partition buckets together in partition order — the same row
         // order the serial loop produced.
         let catalog = self.catalog;
         let bucket_lists = self
             .par
-            .run_wide(d.parts.len(), d.total_rows(), |pi| {
-                let mut ev = Env::new(&base);
-                let mut local: Vec<Vec<Value>> = (0..parts_n).map(|_| Vec::new()).collect();
-                for row in d.parts[pi].iter() {
-                    let k = interp::eval_lambda(key, std::slice::from_ref(row), &mut ev, catalog)?;
-                    let b = (value_hash(&k) % parts_n as u64) as usize;
-                    local[b].push(row.clone());
+            .run_wide(nsrc, total_rows, |pi| {
+                let mut cx = key_prep.ctx(&base);
+                let mut rows_b: Vec<Vec<Value>> = (0..parts_n).map(|_| Vec::new()).collect();
+                let mut keys_b: Vec<Vec<(u64, Value)>> = (0..parts_n).map(|_| Vec::new()).collect();
+                let mut route = |row: Value| -> Result<(), ValueError> {
+                    let k = key_prep.call(std::slice::from_ref(&row), &mut cx, catalog)?;
+                    let h = value_hash(&k);
+                    let b = (h % parts_n as u64) as usize;
+                    rows_b[b].push(row);
+                    keys_b[b].push((h, k));
+                    Ok(())
+                };
+                match &sources[pi] {
+                    Source::Owned(cell) => {
+                        let rows = cell.lock().unwrap().take().expect("partition drained once");
+                        for row in rows {
+                            route(row)?;
+                        }
+                    }
+                    Source::Shared(part) => {
+                        for row in part.iter() {
+                            route(row.clone())?;
+                        }
+                    }
                 }
-                Ok(local)
+                Ok((rows_b, keys_b))
             })
             .map_err(ExecError::Eval)?;
         let mut buckets: Vec<Vec<Value>> = (0..parts_n).map(|_| Vec::new()).collect();
-        for local in bucket_lists {
-            for (b, mut rows) in local.into_iter().enumerate() {
+        let mut keys: Vec<Vec<(u64, Value)>> = (0..parts_n).map(|_| Vec::new()).collect();
+        for (local_rows, local_keys) in bucket_lists {
+            for (b, mut rows) in local_rows.into_iter().enumerate() {
                 buckets[b].append(&mut rows);
+            }
+            for (b, mut ks) in local_keys.into_iter().enumerate() {
+                keys[b].append(&mut ks);
             }
         }
         let out = Partitioned {
@@ -1472,6 +1805,14 @@ impl<'a> Session<'a> {
                 parts: parts_n,
             }),
         };
+        self.charge_shuffle(&out, parts_n);
+        Ok((out, Some(keys)))
+    }
+
+    /// The shuffle cost charges, shared by [`shuffle_keyed`](Self::shuffle_keyed)
+    /// and the `aggBy` partial-aggregate shuffle (which buckets by hashes the
+    /// combiner already computed).
+    fn charge_shuffle(&mut self, out: &Partitioned, parts_n: usize) {
         let spec = *self.spec();
         let total = out.total_bytes();
         self.stats.bytes_shuffled += total;
@@ -1488,7 +1829,6 @@ impl<'a> Session<'a> {
         self.stats.stages += 1;
         self.stats
             .charge_secs(self.personality().stage_overhead + balanced.max(skewed) + seeks);
-        Ok(out)
     }
 
     // ------------------------------------------------------------- thunks
@@ -1682,28 +2022,35 @@ fn consumes_grouped_rows(plan: &Plan) -> bool {
 /// Output rows plus the per-stage row and byte counters of one partition.
 type PartitionPass = (Vec<Value>, Vec<u64>, Vec<u64>);
 
-fn run_pipeline_partition<'a>(
+fn run_pipeline_partition<'p, 'b>(
     rows: &[Value],
-    stages: &'a [PipelineStage],
-    bases: &'a [HashMap<String, Value>],
+    stages: &'b [PreparedStage<'p>],
+    bases: &'b [HashMap<String, Value>],
     catalog: &Catalog,
     need_bytes: &[bool],
-) -> Result<PartitionPass, ValueError> {
+) -> Result<PartitionPass, ValueError>
+where
+    'p: 'b,
+{
     let nstages = stages.len();
-    let mut envs: Vec<Env> = bases.iter().map(Env::new).collect();
+    let mut ctxs: Vec<EvCtx<'b>> = stages
+        .iter()
+        .zip(bases)
+        .map(|(stage, base)| stage.ctx(base))
+        .collect();
     let mut counts = vec![0u64; nstages + 1];
     let mut bytes = vec![0u64; nstages + 1];
     let mut out = Vec::new();
     if stages
         .iter()
-        .any(|s| matches!(s, PipelineStage::FlatMap { .. }))
+        .any(|s| matches!(s, PreparedStage::FlatMap(_)))
     {
         for row in rows {
             push_row(
                 row.clone(),
                 0,
                 stages,
-                &mut envs,
+                &mut ctxs,
                 catalog,
                 need_bytes,
                 &mut counts,
@@ -1724,19 +2071,18 @@ fn run_pipeline_partition<'a>(
                 bytes[i] += cur.approx_bytes();
             }
             match stage {
-                PipelineStage::Map { f } => {
-                    cur =
-                        interp::eval_lambda(f, std::slice::from_ref(&cur), &mut envs[i], catalog)?;
+                PreparedStage::Map(f) => {
+                    cur = f.call(std::slice::from_ref(&cur), &mut ctxs[i], catalog)?;
                 }
-                PipelineStage::Filter { p } => {
-                    let keep =
-                        interp::eval_lambda(p, std::slice::from_ref(&cur), &mut envs[i], catalog)?
-                            .as_bool()?;
+                PreparedStage::Filter(p) => {
+                    let keep = p
+                        .call(std::slice::from_ref(&cur), &mut ctxs[i], catalog)?
+                        .as_bool()?;
                     if !keep {
                         continue 'rows;
                     }
                 }
-                PipelineStage::FlatMap { .. } => unreachable!("handled above"),
+                PreparedStage::FlatMap(_) => unreachable!("handled above"),
             }
         }
         counts[nstages] += 1;
@@ -1750,17 +2096,20 @@ fn run_pipeline_partition<'a>(
 
 /// Pushes one row into stage `i` of a fused pipeline (and onward).
 #[allow(clippy::too_many_arguments)]
-fn push_row<'a>(
+fn push_row<'p, 'b>(
     row: Value,
     i: usize,
-    stages: &'a [PipelineStage],
-    envs: &mut [Env<'a>],
+    stages: &'b [PreparedStage<'p>],
+    ctxs: &mut [EvCtx<'b>],
     catalog: &Catalog,
     need_bytes: &[bool],
     counts: &mut [u64],
     bytes: &mut [u64],
     out: &mut Vec<Value>,
-) -> Result<(), ValueError> {
+) -> Result<(), ValueError>
+where
+    'p: 'b,
+{
     counts[i] += 1;
     if need_bytes[i] {
         bytes[i] += row.approx_bytes();
@@ -1770,13 +2119,13 @@ fn push_row<'a>(
         return Ok(());
     };
     match stage {
-        PipelineStage::Map { f } => {
-            let v = interp::eval_lambda(f, std::slice::from_ref(&row), &mut envs[i], catalog)?;
+        PreparedStage::Map(f) => {
+            let v = f.call(std::slice::from_ref(&row), &mut ctxs[i], catalog)?;
             push_row(
                 v,
                 i + 1,
                 stages,
-                envs,
+                ctxs,
                 catalog,
                 need_bytes,
                 counts,
@@ -1784,15 +2133,16 @@ fn push_row<'a>(
                 out,
             )
         }
-        PipelineStage::Filter { p } => {
-            let keep = interp::eval_lambda(p, std::slice::from_ref(&row), &mut envs[i], catalog)?
+        PreparedStage::Filter(p) => {
+            let keep = p
+                .call(std::slice::from_ref(&row), &mut ctxs[i], catalog)?
                 .as_bool()?;
             if keep {
                 push_row(
                     row,
                     i + 1,
                     stages,
-                    envs,
+                    ctxs,
                     catalog,
                     need_bytes,
                     counts,
@@ -1803,14 +2153,14 @@ fn push_row<'a>(
                 Ok(())
             }
         }
-        PipelineStage::FlatMap { param, body } => {
-            let inner = interp::eval_bag_with_binding(body, param, row, &mut envs[i], catalog)?;
+        PreparedStage::FlatMap(b) => {
+            let inner = b.call(row, &mut ctxs[i], catalog)?;
             for v in inner {
                 push_row(
                     v,
                     i + 1,
                     stages,
-                    envs,
+                    ctxs,
                     catalog,
                     need_bytes,
                     counts,

@@ -5,17 +5,22 @@
 //! keep in sync, a full key clone per group in each, and a hash lookup per
 //! emitted group when draining. [`InsertionMap`] folds both into one: a
 //! dense `Vec` of `(key, value)` entries (iteration order = first-insertion
-//! order) indexed by a `HashMap<key, slot>`. Draining is a linear walk of
-//! the entry vector with no re-hashing.
+//! order) indexed by *precomputed hash* — a `HashMap<u64, Vec<slot>>` whose
+//! tiny collision chains are resolved by key equality. Draining is a linear
+//! walk of the entry vector with no re-hashing, the index holds no key
+//! clones at all, and the `*_hashed` entry points let callers that already
+//! know a key's hash (the aggBy combiner reuses the hash the shuffle
+//! computed) skip hashing entirely.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
 /// A hash map that iterates in first-insertion order.
 #[derive(Clone, Debug, Default)]
 pub struct InsertionMap<K, V> {
     entries: Vec<(K, V)>,
-    index: HashMap<K, usize>,
+    index: HashMap<u64, Vec<usize>>,
 }
 
 impl<K: Clone + Eq + Hash, V> InsertionMap<K, V> {
@@ -37,14 +42,30 @@ impl<K: Clone + Eq + Hash, V> InsertionMap<K, V> {
         self.entries.is_empty()
     }
 
+    /// The `DefaultHasher` hash the `*_hashed` entry points expect — the
+    /// same function `dataset::value_hash` applies to shuffle keys.
+    fn hash_of(key: &K) -> u64 {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        h.finish()
+    }
+
     /// The value slot for `key`, inserting `default()` on first sight.
     /// First sight fixes the key's position in iteration order.
     pub fn entry_or_insert_with(&mut self, key: &K, default: impl FnOnce() -> V) -> &mut V {
-        match self.index.get(key) {
+        self.insert_hashed(Self::hash_of(key), key, default)
+    }
+
+    /// Like [`entry_or_insert_with`](Self::entry_or_insert_with), but with a
+    /// caller-supplied `hash`, which must equal `DefaultHasher` over `key`
+    /// (for `Value` keys: `dataset::value_hash`).
+    pub fn insert_hashed(&mut self, hash: u64, key: &K, default: impl FnOnce() -> V) -> &mut V {
+        let slots = self.index.entry(hash).or_default();
+        match slots.iter().find(|&&s| self.entries[s].0 == *key) {
             Some(&slot) => &mut self.entries[slot].1,
             None => {
                 let slot = self.entries.len();
-                self.index.insert(key.clone(), slot);
+                slots.push(slot);
                 self.entries.push((key.clone(), default()));
                 &mut self.entries[slot].1
             }
@@ -53,7 +74,15 @@ impl<K: Clone + Eq + Hash, V> InsertionMap<K, V> {
 
     /// The value slot for an already-inserted `key`, or `None`.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
-        self.index.get(key).map(|&slot| &mut self.entries[slot].1)
+        self.get_mut_hashed(Self::hash_of(key), key)
+    }
+
+    /// Like [`get_mut`](Self::get_mut), but with a caller-supplied `hash`
+    /// (same contract as [`insert_hashed`](Self::insert_hashed)).
+    pub fn get_mut_hashed(&mut self, hash: u64, key: &K) -> Option<&mut V> {
+        let slots = self.index.get(&hash)?;
+        let slot = *slots.iter().find(|&&s| self.entries[s].0 == *key)?;
+        Some(&mut self.entries[slot].1)
     }
 
     /// Iterates `(key, value)` pairs in first-insertion order.
@@ -98,5 +127,35 @@ mod tests {
         let keys: Vec<i64> = m.iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, vec![7, 3]);
         assert_eq!(m.iter().next().unwrap().1, "SEVEN");
+    }
+
+    #[test]
+    fn hashed_entry_points_agree_with_plain_ones() {
+        let mut plain: InsertionMap<i64, i64> = InsertionMap::new();
+        let mut hashed: InsertionMap<i64, i64> = InsertionMap::new();
+        for k in [5i64, 9, 5, 1, 9, 9, 2] {
+            *plain.entry_or_insert_with(&k, || 0) += 1;
+            let h = InsertionMap::<i64, i64>::hash_of(&k);
+            match hashed.get_mut_hashed(h, &k) {
+                Some(v) => *v += 1,
+                None => *hashed.insert_hashed(h, &k, || 0) += 1,
+            }
+        }
+        let a: Vec<(i64, i64)> = plain.into_iter().collect();
+        let b: Vec<(i64, i64)> = hashed.into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn colliding_hashes_resolve_by_key_equality() {
+        // Force every key into one chain by lying about the hash: the map
+        // must still distinguish keys and keep insertion order.
+        let mut m: InsertionMap<i64, &str> = InsertionMap::new();
+        m.insert_hashed(42, &1, || "one");
+        m.insert_hashed(42, &2, || "two");
+        assert_eq!(m.get_mut_hashed(42, &1).map(|v| *v), Some("one"));
+        assert_eq!(m.get_mut_hashed(42, &2).map(|v| *v), Some("two"));
+        assert_eq!(m.get_mut_hashed(42, &3), None);
+        assert_eq!(m.len(), 2);
     }
 }

@@ -105,6 +105,7 @@ fn chain_program(ops: &[NarrowOp]) -> CompiledProgram {
             plan,
         }],
         report: OptimizationReport::default(),
+        compiled_eval: true,
     }
 }
 
@@ -238,6 +239,7 @@ fn grouped_input_pipeline_matches_unfused() {
             plan: projected,
         }],
         report: OptimizationReport::default(),
+        compiled_eval: true,
     };
     let fused = fused_clone(&unfused);
     assert_eq!(fused.report.pipelines_fused, 1);

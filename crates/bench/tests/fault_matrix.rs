@@ -1,0 +1,157 @@
+//! Acceptance check for fault-tolerant execution across the paper workloads
+//! (Fig. 4 spam classifier, Fig. 5 group aggregation, TPC-H Q1/Q4,
+//! PageRank), on both engine personalities. Three invariants per workload:
+//!
+//! 1. **Disabled injection is free**: an engine carrying
+//!    [`FaultConfig::disabled`] produces the same sink rows, scalars, and
+//!    bit-identical deterministic counters (including `simulated_secs`) as
+//!    an engine with no fault config at all.
+//! 2. **Recovery is invisible in the results**: under a chaos config —
+//!    injected task failures, stragglers, and cache evictions — every
+//!    workload still produces exactly the fault-free rows and scalars, as
+//!    long as the retry budget suffices.
+//! 3. **The schedule is the seed**: rerunning the same chaos config yields
+//!    bit-identical `ExecStats`, so any faulted run can be replayed.
+
+use emma::algorithms::{groupagg, pagerank, spam, tpch};
+use emma::prelude::*;
+use emma_datagen::emails::{classifiers, EmailSpec};
+use emma_datagen::tpch::TpchSpec;
+use emma_datagen::KeyDistribution;
+
+/// Aggressive but recoverable: with fail_p = 0.05 and 8 retries, the odds
+/// of any partition exhausting its budget are ~0.05^9 per site — never in
+/// practice, so `expect` below is safe.
+const CHAOS_SEED: u64 = 0xFA17;
+
+fn assert_fault_matrix(what: &str, program: &Program, catalog: &Catalog, flags: &OptimizerFlags) {
+    let compiled = parallelize(program, flags);
+    for engine in [Engine::sparrow(), Engine::flamingo()] {
+        let plain = engine.run(&compiled, catalog).expect(what);
+
+        let off = engine
+            .clone()
+            .with_faults(FaultConfig::disabled())
+            .run(&compiled, catalog)
+            .expect(what);
+        assert_eq!(plain.writes, off.writes, "{what}: disabled changed rows");
+        assert_eq!(
+            plain.scalars, off.scalars,
+            "{what}: disabled changed scalars"
+        );
+        assert_eq!(plain.stats, off.stats, "{what}: disabled changed counters");
+        assert_eq!(
+            plain.stats.simulated_secs.to_bits(),
+            off.stats.simulated_secs.to_bits(),
+            "{what}: disabled changed the simulated clock"
+        );
+
+        let chaotic = engine.clone().with_faults(FaultConfig::chaos(CHAOS_SEED));
+        let a = chaotic.run(&compiled, catalog).expect(what);
+        assert_eq!(plain.writes, a.writes, "{what}: recovery corrupted rows");
+        assert_eq!(
+            plain.scalars, a.scalars,
+            "{what}: recovery corrupted scalars"
+        );
+
+        let b = chaotic.run(&compiled, catalog).expect(what);
+        assert_eq!(a.stats, b.stats, "{what}: chaos run not reproducible");
+        assert_eq!(
+            a.stats.simulated_secs.to_bits(),
+            b.stats.simulated_secs.to_bits(),
+            "{what}: chaos simulated time not bit-identical"
+        );
+    }
+}
+
+#[test]
+fn fig4_spam_fault_matrix() {
+    let spec = EmailSpec {
+        emails: 120,
+        blacklist: 30,
+        ip_domain: 200,
+        body_bytes: 2_000,
+        info_bytes: 500,
+        seed: 7,
+    };
+    let program = spam::program(classifiers(2));
+    let catalog = spam::catalog(&spec);
+    assert_fault_matrix("fig4", &program, &catalog, &OptimizerFlags::all());
+    // The baseline lowering keeps the narrow fused chain — retries must
+    // also replay whole per-partition pipelines cleanly.
+    let baseline = OptimizerFlags::all()
+        .with_unnest_exists(false)
+        .with_caching(false)
+        .with_partition_pulling(false);
+    assert_fault_matrix("fig4 baseline", &program, &catalog, &baseline);
+}
+
+#[test]
+fn fig5_group_aggregation_fault_matrix() {
+    let program = groupagg::program();
+    for dist in KeyDistribution::all() {
+        let catalog = groupagg::catalog(4_000, 100, dist, 42);
+        for fold_group in [true, false] {
+            let flags = OptimizerFlags::all().with_fold_group_fusion(fold_group);
+            assert_fault_matrix(&format!("fig5 {dist:?}"), &program, &catalog, &flags);
+        }
+    }
+}
+
+#[test]
+fn tpch_q1_q4_fault_matrix() {
+    let catalog = tpch::catalog(&TpchSpec {
+        scale: 30.0,
+        seed: 42,
+    });
+    for (name, program) in [("Q1", tpch::q1_program()), ("Q4", tpch::q4_program())] {
+        assert_fault_matrix(name, &program, &catalog, &OptimizerFlags::all());
+    }
+}
+
+#[test]
+fn pagerank_fault_matrix() {
+    // Iterative workload: the cached graph is re-read every round, so chaos
+    // evictions force lineage recomputation mid-loop.
+    let params = pagerank::PagerankParams {
+        num_pages: 200,
+        iterations: 5,
+        ..Default::default()
+    };
+    let program = pagerank::program(&params);
+    let catalog = pagerank::catalog(&emma_datagen::graph::GraphSpec {
+        vertices: params.num_pages,
+        avg_degree: 4,
+        skew: 1.0,
+        seed: 42,
+    });
+    assert_fault_matrix("pagerank", &program, &catalog, &OptimizerFlags::all());
+}
+
+#[test]
+fn chaos_actually_injects_on_the_paper_workloads() {
+    // Guard against the matrix silently degenerating into a no-op: across
+    // the suite's smallest workload at chaos rates, failures and evictions
+    // must actually fire.
+    let params = pagerank::PagerankParams {
+        num_pages: 200,
+        iterations: 5,
+        ..Default::default()
+    };
+    let program = pagerank::program(&params);
+    let catalog = pagerank::catalog(&emma_datagen::graph::GraphSpec {
+        vertices: params.num_pages,
+        avg_degree: 4,
+        skew: 1.0,
+        seed: 42,
+    });
+    let compiled = parallelize(&program, &OptimizerFlags::all());
+    let run = Engine::sparrow()
+        .with_faults(FaultConfig::chaos(CHAOS_SEED))
+        .run(&compiled, &catalog)
+        .expect("pagerank under chaos");
+    assert!(run.stats.tasks_failed > 0, "{}", run.stats);
+    assert!(run.stats.tasks_retried > 0, "{}", run.stats);
+    assert!(run.stats.cache_evictions > 0, "{}", run.stats);
+    assert!(run.stats.recomputed_partitions > 0, "{}", run.stats);
+}

@@ -444,6 +444,22 @@ impl Plan {
         });
         n
     }
+
+    /// The number of logical operators in this plan's lineage — every node
+    /// (including through `Cache`) plus the stages absorbed into fused
+    /// [`Plan::Pipeline`]s under their original identities. The engine uses
+    /// this to account for how much lineage a cache eviction forces it to
+    /// re-derive.
+    pub fn lineage_size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |p| {
+            n += 1;
+            if let Plan::Pipeline { stages, .. } = p {
+                n += stages.len();
+            }
+        });
+        n
+    }
 }
 
 pub(crate) fn collect_scalar_bag_refs(e: &ScalarExpr, out: &mut Vec<String>) {

@@ -29,6 +29,7 @@ use emma_compiler::plan::PipelineStage;
 
 use crate::cluster::{ClusterSpec, Personality};
 use crate::dataset::{value_hash, Partitioned, Partitioning};
+use crate::fault::{self, FaultConfig, TaskError, TaskFault};
 use crate::metrics::{ExecError, ExecStats};
 use crate::ordmap::InsertionMap;
 use crate::pool::{Parallelism, ParallelismMode};
@@ -43,6 +44,11 @@ struct Thunk {
     env: EnvSnapshot,
     /// Whether the result is materialized on first force.
     cache_enabled: bool,
+    /// Whether fault injection may evict the memoized result, forcing
+    /// lineage recomputation of `plan`. False for driver-materialized
+    /// bindings (stateful-update deltas) whose `plan` is a placeholder, not
+    /// real lineage.
+    evictable: bool,
     /// The memoized result (only used when `cache_enabled`).
     memo: Mutex<Option<Partitioned>>,
 }
@@ -108,6 +114,10 @@ pub struct Engine {
     pub worker_threads: Option<usize>,
     /// Minimum total row count before an operator fans out across threads.
     pub parallelism_threshold: u64,
+    /// Deterministic fault-injection knobs; `None` (the default) and a
+    /// config with all probabilities zero both take the fault-free
+    /// execution path with bit-identical counters.
+    pub faults: Option<FaultConfig>,
 }
 
 /// Default for [`Engine::parallelism_threshold`]: below this many rows the
@@ -125,6 +135,7 @@ impl Engine {
             parallelism_mode: ParallelismMode::Pool,
             worker_threads: None,
             parallelism_threshold: DEFAULT_PARALLELISM_THRESHOLD,
+            faults: None,
         }
     }
 
@@ -165,6 +176,15 @@ impl Engine {
         self
     }
 
+    /// Enables deterministic fault injection (task failures, stragglers,
+    /// cache evictions) with the given knobs. Identical configs reproduce
+    /// identical failure schedules and bit-identical [`ExecStats`]; a config
+    /// with all probabilities zero is indistinguishable from no config.
+    pub fn with_faults(mut self, cfg: FaultConfig) -> Self {
+        self.faults = Some(cfg);
+        self
+    }
+
     /// Runs a compiled program to completion.
     ///
     /// Execution happens on a dedicated thread with a large stack: deep
@@ -173,13 +193,18 @@ impl Engine {
     /// proportionally to the iteration count.
     pub fn run(&self, prog: &CompiledProgram, catalog: &Catalog) -> Result<EngineRun, ExecError> {
         std::thread::scope(|scope| {
-            std::thread::Builder::new()
+            match std::thread::Builder::new()
                 .name("emma-engine".into())
                 .stack_size(256 * 1024 * 1024)
                 .spawn_scoped(scope, || self.run_on_current_thread(prog, catalog))
                 .expect("spawn engine thread")
                 .join()
-                .expect("engine thread panicked")
+            {
+                Ok(result) => result,
+                // Driver-level panics (not partition tasks — those are
+                // contained per-task) re-raise with their original payload.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         })
     }
 
@@ -207,6 +232,8 @@ impl Engine {
             compiled: prog.compiled_eval,
             lam_cache: HashMap::new(),
             bag_cache: HashMap::new(),
+            task_sites: 0,
+            cache_events: 0,
         };
         session.exec_stmts(&prog.body)?;
         let mut scalars = HashMap::new();
@@ -407,6 +434,14 @@ struct Session<'a> {
     lam_cache: HashMap<Lambda, Arc<CompiledEval>>,
     /// Compilation memo for FlatMap bodies, keyed by `(param, body)`.
     bag_cache: HashMap<(String, BagExpr), Arc<CompiledBag>>,
+    /// Driver-ordered counter of task batches submitted under fault
+    /// injection — the `site` identifier of the failure schedule. Advances
+    /// only when injection is active, so a zero-probability config consumes
+    /// nothing and stays bit-identical to no config.
+    task_sites: u64,
+    /// Driver-ordered counter of cache-read events under fault injection
+    /// (the eviction schedule's identifier space).
+    cache_events: u64,
 }
 
 impl<'a> Session<'a> {
@@ -436,6 +471,152 @@ impl<'a> Session<'a> {
 
     fn snapshot(&self) -> EnvSnapshot {
         Arc::new(self.env.clone())
+    }
+
+    // ----------------------------------------------- fault-tolerant dispatch
+
+    /// The active fault config, if it actually injects anything.
+    fn fault_cfg(&self) -> Option<FaultConfig> {
+        self.engine.faults.filter(FaultConfig::injects)
+    }
+
+    /// Runs `n` index-addressed partition tasks with panic containment and —
+    /// under fault injection — partition-granularity retry.
+    ///
+    /// Every per-partition operator body goes through here. Without an
+    /// injecting [`FaultConfig`] this is a single contained wave: no charge
+    /// is issued and no schedule state is consumed, so counters stay
+    /// bit-identical to the pre-fault engine; the only observable change is
+    /// that a panicking task no longer aborts the process — its payload is
+    /// converted to a typed error ([`fault::panic_value_error`]) competing
+    /// by partition index with ordinary evaluation errors.
+    ///
+    /// With injection active, each wave's fates are **precomputed on the
+    /// driver** (pure in `(seed, site, partition, attempt)` — never drawn
+    /// inside workers, so the schedule is independent of thread scheduling):
+    /// injected failures skip the task body and are retried up to
+    /// `max_task_retries` with exponential backoff charged to the simulated
+    /// clock; stragglers run normally but charge the wave their worst delay
+    /// (stage time = slowest task); real evaluation errors and panics are
+    /// deterministic, so they abort immediately — lowest partition wins.
+    fn run_tasks<T, F>(
+        &mut self,
+        wide: bool,
+        n: usize,
+        total_rows: u64,
+        f: F,
+    ) -> Result<Vec<T>, ExecError>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T, ValueError> + Sync,
+    {
+        let Some(cfg) = self.fault_cfg() else {
+            let settled = self.par.run_settled(wide, n, total_rows, &f);
+            let mut out = Vec::with_capacity(n);
+            for s in settled {
+                match s {
+                    Ok(Ok(v)) => out.push(v),
+                    Ok(Err(e)) => return Err(ExecError::Eval(e)),
+                    Err(payload) => {
+                        self.stats.tasks_failed += 1;
+                        return Err(ExecError::Eval(fault::panic_value_error(payload)));
+                    }
+                }
+            }
+            return Ok(out);
+        };
+        let site = self.task_sites;
+        self.task_sites += 1;
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        // Ascending at every wave (failures are collected in settle order),
+        // so "first error in wave order" is "lowest partition index".
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut attempt: u32 = 0;
+        loop {
+            let fates: Vec<TaskFault> = pending
+                .iter()
+                .map(|&pi| cfg.task_fault(site, pi as u64, attempt))
+                .collect();
+            let wave_start = (attempt > 0).then(std::time::Instant::now);
+            let settled =
+                self.par
+                    .run_settled(wide, pending.len(), total_rows, |wi| match fates[wi] {
+                        // A killed task never runs its body — its partition's
+                        // work is lost and must be redone on retry.
+                        TaskFault::Fail => Err(TaskError::Injected),
+                        _ => f(pending[wi]).map_err(TaskError::Eval),
+                    });
+            if let Some(t0) = wave_start {
+                self.stats.retry_wall_secs += t0.elapsed().as_secs_f64();
+            }
+            // The wave lasts as long as its slowest straggler.
+            let mut worst_straggle = 0.0f64;
+            for fate in &fates {
+                if let TaskFault::Straggle(secs) = fate {
+                    self.stats.straggler_delays += 1;
+                    worst_straggle = worst_straggle.max(*secs);
+                }
+            }
+            if worst_straggle > 0.0 {
+                self.stats.charge_secs(worst_straggle);
+                self.stats.retry_sim_secs += worst_straggle;
+            }
+            let mut failed: Vec<usize> = Vec::new();
+            for (wi, s) in settled.into_iter().enumerate() {
+                let pi = pending[wi];
+                match s {
+                    Ok(Ok(v)) => results[pi] = Some(v),
+                    Ok(Err(TaskError::Injected)) => {
+                        self.stats.tasks_failed += 1;
+                        failed.push(pi);
+                    }
+                    Ok(Err(TaskError::Eval(e))) => return Err(ExecError::Eval(e)),
+                    Err(payload) => {
+                        self.stats.tasks_failed += 1;
+                        return Err(ExecError::Eval(fault::panic_value_error(payload)));
+                    }
+                }
+            }
+            if failed.is_empty() {
+                return Ok(results
+                    .into_iter()
+                    .map(|r| r.expect("every partition task settled"))
+                    .collect());
+            }
+            if attempt >= cfg.max_task_retries {
+                return Err(ExecError::TaskFailed {
+                    partition: failed[0],
+                    attempts: attempt + 1,
+                });
+            }
+            let backoff = cfg.retry_backoff_secs * (1u64 << attempt.min(20)) as f64;
+            if backoff > 0.0 {
+                self.stats.charge_secs(backoff);
+                self.stats.retry_sim_secs += backoff;
+            }
+            self.stats.tasks_retried += failed.len() as u64;
+            self.check_budget()?;
+            pending = failed;
+            attempt += 1;
+        }
+    }
+
+    /// [`run_tasks`](Self::run_tasks) specialized to narrow row-transform
+    /// operators: applies `f` to every partition, returning the transformed
+    /// partitions in order (the fault-tolerant analogue of
+    /// [`Parallelism::run_rows`]).
+    fn run_task_rows<F>(
+        &mut self,
+        parts: &[Arc<Vec<Value>>],
+        total_rows: u64,
+        f: F,
+    ) -> Result<Vec<Arc<Vec<Value>>>, ExecError>
+    where
+        F: Fn(&[Value]) -> Result<Vec<Value>, ValueError> + Sync,
+    {
+        self.run_tasks(false, parts.len(), total_rows, |i| {
+            f(&parts[i]).map(Arc::new)
+        })
     }
 
     // ------------------------------------------------------ UDF preparation
@@ -517,6 +698,7 @@ impl<'a> Session<'a> {
                             plan: Arc::new(inner),
                             env: self.snapshot(),
                             cache_enabled: cached,
+                            evictable: true,
                             memo: Mutex::new(None),
                         };
                         self.env.insert(name.clone(), Binding::Bag(Arc::new(thunk)));
@@ -690,11 +872,13 @@ impl<'a> Session<'a> {
                     parts: delta_parts.into_iter().map(Arc::new).collect(),
                     partitioning: Some(Partitioning { key, parts: nparts }),
                 };
-                // Bind the delta as an already-materialized bag.
+                // Bind the delta as an already-materialized bag. The plan is
+                // a placeholder, not lineage — never evict it.
                 let thunk = Thunk {
                     plan: Arc::new(Plan::Literal { rows: vec![] }),
                     env: self.snapshot(),
                     cache_enabled: true,
+                    evictable: false,
                     memo: Mutex::new(Some(delta_data)),
                 };
                 self.env
@@ -844,15 +1028,12 @@ impl<'a> Session<'a> {
                 self.charge_broadcast_scans(&f.body, &base, d.max_part_rows())?;
                 let f_prep = self.prepare_lambda(f, &base);
                 let catalog = self.catalog;
-                let parts = self
-                    .par
-                    .run_rows(&d.parts, d.total_rows(), |rows| {
-                        let mut cx = f_prep.ctx(&base);
-                        rows.iter()
-                            .map(|row| f_prep.call(std::slice::from_ref(row), &mut cx, catalog))
-                            .collect()
-                    })
-                    .map_err(ExecError::Eval)?;
+                let parts = self.run_task_rows(&d.parts, d.total_rows(), |rows| {
+                    let mut cx = f_prep.ctx(&base);
+                    rows.iter()
+                        .map(|row| f_prep.call(std::slice::from_ref(row), &mut cx, catalog))
+                        .collect()
+                })?;
                 self.charge_cpu_weighted(d.total_rows(), d.max_part_rows(), f.static_cost());
                 // Folds over *materialized group values* re-scan their data;
                 // folds over small per-record bags (e.g. a vertex's neighbor
@@ -875,22 +1056,19 @@ impl<'a> Session<'a> {
                 self.charge_broadcast_scans(&p.body, &base, d.max_part_rows())?;
                 let p_prep = self.prepare_lambda(p, &base);
                 let catalog = self.catalog;
-                let parts = self
-                    .par
-                    .run_rows(&d.parts, d.total_rows(), |rows| {
-                        let mut cx = p_prep.ctx(&base);
-                        let mut out = Vec::new();
-                        for row in rows {
-                            if p_prep
-                                .call(std::slice::from_ref(row), &mut cx, catalog)?
-                                .as_bool()?
-                            {
-                                out.push(row.clone());
-                            }
+                let parts = self.run_task_rows(&d.parts, d.total_rows(), |rows| {
+                    let mut cx = p_prep.ctx(&base);
+                    let mut out = Vec::new();
+                    for row in rows {
+                        if p_prep
+                            .call(std::slice::from_ref(row), &mut cx, catalog)?
+                            .as_bool()?
+                        {
+                            out.push(row.clone());
                         }
-                        Ok(out)
-                    })
-                    .map_err(ExecError::Eval)?;
+                    }
+                    Ok(out)
+                })?;
                 self.charge_cpu_weighted(d.total_rows(), d.max_part_rows(), p.static_cost());
                 // Filters preserve the physical layout.
                 Ok(PlanResult::Bag(Partitioned {
@@ -903,20 +1081,17 @@ impl<'a> Session<'a> {
                 let base = self.eval_base_for_bag_exprs(&[body], env)?;
                 let b_prep = self.prepare_bag(param, body, &base);
                 let catalog = self.catalog;
-                let results = self
-                    .par
-                    .run_wide(d.parts.len(), d.total_rows(), |pi| {
-                        let mut out = Vec::new();
-                        let mut cx = b_prep.ctx(&base);
-                        let mut produced = 0u64;
-                        for row in d.parts[pi].iter() {
-                            let inner = b_prep.call(row.clone(), &mut cx, catalog)?;
-                            produced += inner.len() as u64;
-                            out.extend(inner);
-                        }
-                        Ok((out, produced))
-                    })
-                    .map_err(ExecError::Eval)?;
+                let results = self.run_tasks(true, d.parts.len(), d.total_rows(), |pi| {
+                    let mut out = Vec::new();
+                    let mut cx = b_prep.ctx(&base);
+                    let mut produced = 0u64;
+                    for row in d.parts[pi].iter() {
+                        let inner = b_prep.call(row.clone(), &mut cx, catalog)?;
+                        produced += inner.len() as u64;
+                        out.extend(inner);
+                    }
+                    Ok((out, produced))
+                })?;
                 let mut produced = 0u64;
                 let mut parts = Vec::with_capacity(d.parts.len());
                 for (out, p) in results {
@@ -944,19 +1119,16 @@ impl<'a> Session<'a> {
                 let uni_prep = self.prepare_lambda(&fold.uni, &base);
                 // Fold each partition locally, ship partials, combine.
                 let catalog = self.catalog;
-                let partials = self
-                    .par
-                    .run_wide(d.parts.len(), d.total_rows(), |pi| {
-                        let mut scx = sng_prep.ctx(&base);
-                        let mut ucx = uni_prep.ctx(&base);
-                        let mut acc = zero.clone();
-                        for row in d.parts[pi].iter() {
-                            let s = sng_prep.call(std::slice::from_ref(row), &mut scx, catalog)?;
-                            acc = uni_prep.call(&[acc, s], &mut ucx, catalog)?;
-                        }
-                        Ok(acc)
-                    })
-                    .map_err(ExecError::Eval)?;
+                let partials = self.run_tasks(true, d.parts.len(), d.total_rows(), |pi| {
+                    let mut scx = sng_prep.ctx(&base);
+                    let mut ucx = uni_prep.ctx(&base);
+                    let mut acc = zero.clone();
+                    for row in d.parts[pi].iter() {
+                        let s = sng_prep.call(std::slice::from_ref(row), &mut scx, catalog)?;
+                        acc = uni_prep.call(&[acc, s], &mut ucx, catalog)?;
+                    }
+                    Ok(acc)
+                })?;
                 let partial_bytes: u64 = partials.iter().map(Value::approx_bytes).sum();
                 let mut acc = zero;
                 let mut ucx = uni_prep.ctx(&base);
@@ -1218,18 +1390,9 @@ impl<'a> Session<'a> {
                     need_bytes[i] = nested[i] > 0 && grouped[i];
                 }
                 let catalog = self.catalog;
-                let results = self
-                    .par
-                    .run_indexed(d.parts.len(), d.total_rows(), |pi| {
-                        run_pipeline_partition(
-                            &d.parts[pi],
-                            &prepared,
-                            &bases,
-                            catalog,
-                            &need_bytes,
-                        )
-                    })
-                    .map_err(ExecError::Eval)?;
+                let results = self.run_tasks(false, d.parts.len(), d.total_rows(), |pi| {
+                    run_pipeline_partition(&d.parts[pi], &prepared, &bases, catalog, &need_bytes)
+                })?;
                 let mut parts = Vec::with_capacity(results.len());
                 let mut counts_total = vec![0u64; nstages + 1];
                 let mut counts_max = vec![0u64; nstages + 1];
@@ -1382,86 +1545,81 @@ impl<'a> Session<'a> {
         let catalog = self.catalog;
         let probe_rows: u64 =
             lwork.total_rows() + rrows_by_part.iter().map(|p| p.len() as u64).sum::<u64>();
-        let outs = self
-            .par
-            .run_wide(lwork.parts.len(), probe_rows, |pi| {
-                let mut rcx = rk_prep.ctx(&base);
-                let mut lcx = lk_prep.ctx(&base);
-                let mut rescx = res_prep.as_ref().map(|p| p.ctx(&base));
-                let lpart = &lwork.parts[pi];
-                let ri = pi.min(rrows_by_part.len() - 1);
-                let rrows = &rrows_by_part[ri];
-                let computed: Vec<(u64, Value)>;
-                let rkv: &[(u64, Value)] = match &rkeys {
-                    Some(keys) => &keys[ri],
+        let outs = self.run_tasks(true, lwork.parts.len(), probe_rows, |pi| {
+            let mut rcx = rk_prep.ctx(&base);
+            let mut lcx = lk_prep.ctx(&base);
+            let mut rescx = res_prep.as_ref().map(|p| p.ctx(&base));
+            let lpart = &lwork.parts[pi];
+            let ri = pi.min(rrows_by_part.len() - 1);
+            let rrows = &rrows_by_part[ri];
+            let computed: Vec<(u64, Value)>;
+            let rkv: &[(u64, Value)] = match &rkeys {
+                Some(keys) => &keys[ri],
+                None => {
+                    computed = rrows
+                        .iter()
+                        .map(|rrow| {
+                            let k = rk_prep.call(std::slice::from_ref(rrow), &mut rcx, catalog)?;
+                            Ok((value_hash(&k), k))
+                        })
+                        .collect::<Result<_, ValueError>>()?;
+                    &computed
+                }
+            };
+            let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+            for (slot, (h, _)) in rkv.iter().enumerate() {
+                table.entry(*h).or_default().push(slot);
+            }
+            let lkeys_part: Option<&[(u64, Value)]> =
+                lkeys.as_ref().map(|keys| keys[pi].as_slice());
+            let mut out = Vec::new();
+            for (li, lrow) in lpart.iter().enumerate() {
+                let lk_owned: Value;
+                let (h, k): (u64, &Value) = match lkeys_part {
+                    Some(keys) => (keys[li].0, &keys[li].1),
                     None => {
-                        computed = rrows
-                            .iter()
-                            .map(|rrow| {
-                                let k =
-                                    rk_prep.call(std::slice::from_ref(rrow), &mut rcx, catalog)?;
-                                Ok((value_hash(&k), k))
-                            })
-                            .collect::<Result<_, ValueError>>()?;
-                        &computed
+                        lk_owned = lk_prep.call(std::slice::from_ref(lrow), &mut lcx, catalog)?;
+                        (value_hash(&lk_owned), &lk_owned)
                     }
                 };
-                let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
-                for (slot, (h, _)) in rkv.iter().enumerate() {
-                    table.entry(*h).or_default().push(slot);
-                }
-                let lkeys_part: Option<&[(u64, Value)]> =
-                    lkeys.as_ref().map(|keys| keys[pi].as_slice());
-                let mut out = Vec::new();
-                for (li, lrow) in lpart.iter().enumerate() {
-                    let lk_owned: Value;
-                    let (h, k): (u64, &Value) = match lkeys_part {
-                        Some(keys) => (keys[li].0, &keys[li].1),
-                        None => {
-                            lk_owned =
-                                lk_prep.call(std::slice::from_ref(lrow), &mut lcx, catalog)?;
-                            (value_hash(&lk_owned), &lk_owned)
-                        }
+                let slots = table.get(&h).map(Vec::as_slice).unwrap_or(&[]);
+                let mut any = false;
+                for &slot in slots {
+                    if rkv[slot].1 != *k {
+                        continue;
+                    }
+                    let rrow = &rrows[slot];
+                    let pass = match (&res_prep, &mut rescx) {
+                        (Some(res), Some(cx)) => res
+                            .call(&[lrow.clone(), rrow.clone()], cx, catalog)?
+                            .as_bool()?,
+                        _ => true,
                     };
-                    let slots = table.get(&h).map(Vec::as_slice).unwrap_or(&[]);
-                    let mut any = false;
-                    for &slot in slots {
-                        if rkv[slot].1 != *k {
-                            continue;
-                        }
-                        let rrow = &rrows[slot];
-                        let pass = match (&res_prep, &mut rescx) {
-                            (Some(res), Some(cx)) => res
-                                .call(&[lrow.clone(), rrow.clone()], cx, catalog)?
-                                .as_bool()?,
-                            _ => true,
-                        };
-                        if pass {
-                            any = true;
-                            if kind == JoinKind::Inner {
-                                out.push(Value::tuple(vec![lrow.clone(), rrow.clone()]));
-                            } else {
-                                break;
-                            }
-                        }
-                    }
-                    match kind {
-                        JoinKind::Inner => {}
-                        JoinKind::LeftSemi => {
-                            if any {
-                                out.push(lrow.clone());
-                            }
-                        }
-                        JoinKind::LeftAnti => {
-                            if !any {
-                                out.push(lrow.clone());
-                            }
+                    if pass {
+                        any = true;
+                        if kind == JoinKind::Inner {
+                            out.push(Value::tuple(vec![lrow.clone(), rrow.clone()]));
+                        } else {
+                            break;
                         }
                     }
                 }
-                Ok(out)
-            })
-            .map_err(ExecError::Eval)?;
+                match kind {
+                    JoinKind::Inner => {}
+                    JoinKind::LeftSemi => {
+                        if any {
+                            out.push(lrow.clone());
+                        }
+                    }
+                    JoinKind::LeftAnti => {
+                        if !any {
+                            out.push(lrow.clone());
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        })?;
         let mut parts = Vec::with_capacity(outs.len());
         let mut produced = 0u64;
         for out in outs {
@@ -1510,34 +1668,31 @@ impl<'a> Session<'a> {
         // key hash is computed once per row and carried with each partial so
         // neither the partial shuffle nor the merge phase re-hashes.
         let catalog = self.catalog;
-        let partial_lists = self
-            .par
-            .run_wide(d.parts.len(), d.total_rows(), |pi| {
-                let mut cx = sng_prep.ctx(&base);
-                let mut ucx = uni_prep.ctx(&base);
-                let mut kcx = key_prep.ctx(&base2);
-                let mut accs: InsertionMap<Value, (u64, Value)> = InsertionMap::new();
-                for row in d.parts[pi].iter() {
-                    let k = key_prep.call(std::slice::from_ref(row), &mut kcx, catalog)?;
-                    let h = value_hash(&k);
-                    let s = sng_prep.call(std::slice::from_ref(row), &mut cx, catalog)?;
-                    match accs.get_mut_hashed(h, &k) {
-                        Some((_, acc)) => {
-                            let merged = uni_prep.call(&[acc.clone(), s], &mut ucx, catalog)?;
-                            *acc = merged;
-                        }
-                        None => {
-                            let first = uni_prep.call(&[zero.clone(), s], &mut ucx, catalog)?;
-                            accs.insert_hashed(h, &k, || (h, first));
-                        }
+        let partial_lists = self.run_tasks(true, d.parts.len(), d.total_rows(), |pi| {
+            let mut cx = sng_prep.ctx(&base);
+            let mut ucx = uni_prep.ctx(&base);
+            let mut kcx = key_prep.ctx(&base2);
+            let mut accs: InsertionMap<Value, (u64, Value)> = InsertionMap::new();
+            for row in d.parts[pi].iter() {
+                let k = key_prep.call(std::slice::from_ref(row), &mut kcx, catalog)?;
+                let h = value_hash(&k);
+                let s = sng_prep.call(std::slice::from_ref(row), &mut cx, catalog)?;
+                match accs.get_mut_hashed(h, &k) {
+                    Some((_, acc)) => {
+                        let merged = uni_prep.call(&[acc.clone(), s], &mut ucx, catalog)?;
+                        *acc = merged;
+                    }
+                    None => {
+                        let first = uni_prep.call(&[zero.clone(), s], &mut ucx, catalog)?;
+                        accs.insert_hashed(h, &k, || (h, first));
                     }
                 }
-                Ok(accs
-                    .into_iter()
-                    .map(|(k, (h, acc))| (h, Value::tuple(vec![k, acc])))
-                    .collect::<Vec<_>>())
-            })
-            .map_err(ExecError::Eval)?;
+            }
+            Ok(accs
+                .into_iter()
+                .map(|(k, (h, acc))| (h, Value::tuple(vec![k, acc])))
+                .collect::<Vec<_>>())
+        })?;
         let mut partials: Vec<(u64, Value)> = Vec::new();
         for list in partial_lists {
             partials.extend(list);
@@ -1573,9 +1728,8 @@ impl<'a> Session<'a> {
 
         // Merge phase: same insertion-ordered per-partition reduction,
         // looking partials up by their carried hashes.
-        let merged_lists = self
-            .par
-            .run_wide(shuffled.parts.len(), shuffled.total_rows(), |pi| {
+        let merged_lists =
+            self.run_tasks(true, shuffled.parts.len(), shuffled.total_rows(), |pi| {
                 let mut ucx = uni_prep.ctx(&base);
                 let mut accs: InsertionMap<Value, Value> = InsertionMap::new();
                 for (row, &h) in shuffled.parts[pi].iter().zip(&hash_b[pi]) {
@@ -1595,8 +1749,7 @@ impl<'a> Session<'a> {
                     .into_iter()
                     .map(|(k, acc)| Value::tuple(vec![k, acc]))
                     .collect::<Vec<_>>())
-            })
-            .map_err(ExecError::Eval)?;
+            })?;
         let parts: Vec<Arc<Vec<Value>>> = merged_lists.into_iter().map(Arc::new).collect();
         self.charge_cpu(shuffled.total_rows(), shuffled.max_part_rows());
         self.stats.stages += 1;
@@ -1757,37 +1910,38 @@ impl<'a> Session<'a> {
         // Bucket each source partition on the pool, then splice the
         // per-partition buckets together in partition order — the same row
         // order the serial loop produced.
+        // A retried bucketing task never double-drains an owned source:
+        // an injected failure skips the task body entirely (the attempt's
+        // work is "lost"), so the drain happens exactly once — on the first
+        // attempt that actually executes.
         let catalog = self.catalog;
-        let bucket_lists = self
-            .par
-            .run_wide(nsrc, total_rows, |pi| {
-                let mut cx = key_prep.ctx(&base);
-                let mut rows_b: Vec<Vec<Value>> = (0..parts_n).map(|_| Vec::new()).collect();
-                let mut keys_b: Vec<Vec<(u64, Value)>> = (0..parts_n).map(|_| Vec::new()).collect();
-                let mut route = |row: Value| -> Result<(), ValueError> {
-                    let k = key_prep.call(std::slice::from_ref(&row), &mut cx, catalog)?;
-                    let h = value_hash(&k);
-                    let b = (h % parts_n as u64) as usize;
-                    rows_b[b].push(row);
-                    keys_b[b].push((h, k));
-                    Ok(())
-                };
-                match &sources[pi] {
-                    Source::Owned(cell) => {
-                        let rows = cell.lock().unwrap().take().expect("partition drained once");
-                        for row in rows {
-                            route(row)?;
-                        }
-                    }
-                    Source::Shared(part) => {
-                        for row in part.iter() {
-                            route(row.clone())?;
-                        }
+        let bucket_lists = self.run_tasks(true, nsrc, total_rows, |pi| {
+            let mut cx = key_prep.ctx(&base);
+            let mut rows_b: Vec<Vec<Value>> = (0..parts_n).map(|_| Vec::new()).collect();
+            let mut keys_b: Vec<Vec<(u64, Value)>> = (0..parts_n).map(|_| Vec::new()).collect();
+            let mut route = |row: Value| -> Result<(), ValueError> {
+                let k = key_prep.call(std::slice::from_ref(&row), &mut cx, catalog)?;
+                let h = value_hash(&k);
+                let b = (h % parts_n as u64) as usize;
+                rows_b[b].push(row);
+                keys_b[b].push((h, k));
+                Ok(())
+            };
+            match &sources[pi] {
+                Source::Owned(cell) => {
+                    let rows = cell.lock().unwrap().take().expect("partition drained once");
+                    for row in rows {
+                        route(row)?;
                     }
                 }
-                Ok((rows_b, keys_b))
-            })
-            .map_err(ExecError::Eval)?;
+                Source::Shared(part) => {
+                    for row in part.iter() {
+                        route(row.clone())?;
+                    }
+                }
+            }
+            Ok((rows_b, keys_b))
+        })?;
         let mut buckets: Vec<Vec<Value>> = (0..parts_n).map(|_| Vec::new()).collect();
         let mut keys: Vec<Vec<(u64, Value)>> = (0..parts_n).map(|_| Vec::new()).collect();
         for (local_rows, local_keys) in bucket_lists {
@@ -1835,7 +1989,33 @@ impl<'a> Session<'a> {
 
     fn force(&mut self, thunk: &Arc<Thunk>) -> Result<Partitioned, ExecError> {
         if thunk.cache_enabled {
-            if let Some(hit) = thunk.memo.lock().unwrap().clone() {
+            let hit = thunk.memo.lock().unwrap().clone();
+            if let Some(hit) = hit {
+                // Under fault injection a cached result may have been
+                // evicted (a lost executor took its cache blocks with it):
+                // instead of aborting, drop the memo and re-force the
+                // thunk's `Plan` lineage — nested `RefBag`s re-force their
+                // own thunks, recursing through `Plan::Cache` boundaries, so
+                // arbitrarily deep lineage rebuilds (and re-caches). The
+                // eviction draw is a pure function of the driver-ordered
+                // cache-event number, never of scheduling.
+                if thunk.evictable {
+                    if let Some(cfg) = self.fault_cfg() {
+                        let event = self.cache_events;
+                        self.cache_events += 1;
+                        if cfg.cache_evicted(event) {
+                            *thunk.memo.lock().unwrap() = None;
+                            self.stats.cache_evictions += 1;
+                            self.stats.recomputed_plan_nodes += thunk.plan.lineage_size() as u64;
+                            let result = self.exec_bag(&thunk.plan.clone(), &thunk.env.clone())?;
+                            self.stats.cache_misses += 1;
+                            self.stats.recomputed_partitions += result.parts.len() as u64;
+                            self.charge_cache_write(&result);
+                            *thunk.memo.lock().unwrap() = Some(result.clone());
+                            return Ok(result);
+                        }
+                    }
+                }
                 self.stats.cache_hits += 1;
                 self.charge_cache_read(&hit);
                 return Ok(hit);

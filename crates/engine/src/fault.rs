@@ -1,0 +1,332 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! The paper's target runtimes owe much of their architecture to failure
+//! handling — lineage-based recomputation is the founding idea of RDDs
+//! (Zaharia et al., NSDI 2012), and straggler/failure mitigation goes back
+//! to MapReduce (Dean & Ghemawat, OSDI 2004). This module supplies the
+//! failure *model* for our simulated cluster: individual partition tasks can
+//! fail, run slow (stragglers), and cached results can be evicted, each at a
+//! configurable per-event probability.
+//!
+//! Determinism is the design constraint everything here serves. Every
+//! decision is a **pure function of `(seed, identifiers)`**: a task-fault
+//! draw depends only on the fault seed, the batch's *site* number (assigned
+//! in driver order, which is deterministic), the partition index, and the
+//! attempt number; a cache-eviction draw depends only on the seed and the
+//! driver-ordered eviction-event number. No decision ever reads shared
+//! mutable RNG state from inside a worker task, so the failure schedule is
+//! identical across thread counts, dispatch modes, and runs — two runs with
+//! the same seed produce bit-identical [`crate::metrics::ExecStats`],
+//! including `simulated_secs`.
+//!
+//! The draws themselves go through the workspace's [`rand`] shim
+//! (xoshiro256** seeded via SplitMix64), one freshly seeded generator per
+//! decision.
+
+use std::any::Any;
+
+use emma_compiler::value::ValueError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault-injection knobs for one engine run. All probabilities default to
+/// zero, which disables injection entirely: the engine then takes the exact
+/// fault-free execution path and every deterministic counter stays
+/// bit-identical to a run without a `FaultConfig` at all (enforced by
+/// `crates/bench/tests/fault_matrix.rs`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the failure schedule. Identical seeds (with identical knobs)
+    /// reproduce identical failures, stragglers, and evictions.
+    pub seed: u64,
+    /// Probability that one partition task attempt fails outright
+    /// (simulating a lost executor / killed container).
+    pub task_fail_p: f64,
+    /// Probability that one partition task attempt runs slow without
+    /// failing. The batch is charged the slowest straggler's delay on the
+    /// simulated clock (stage time = slowest task).
+    pub straggler_p: f64,
+    /// Base straggler delay in simulated seconds; the actual delay of one
+    /// straggling task is drawn uniformly from `[0.5, 1.5) ×` this value.
+    pub straggler_secs: f64,
+    /// Probability that a cached thunk result has been evicted when a read
+    /// attempts to hit it — forcing lineage recomputation of its plan.
+    pub cache_evict_p: f64,
+    /// How many times one partition task is retried after an injected
+    /// failure before the run gives up with
+    /// [`crate::metrics::ExecError::TaskFailed`].
+    pub max_task_retries: u32,
+    /// Base of the exponential retry backoff: before retry attempt `a`
+    /// (1-based), the wave waits `retry_backoff_secs × 2^(a-1)` simulated
+    /// seconds, charged to the simulated clock via
+    /// [`crate::metrics::ExecStats::charge_secs`].
+    pub retry_backoff_secs: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl FaultConfig {
+    /// A config that injects nothing (all probabilities zero) but keeps a
+    /// sensible retry budget — useful for asserting that merely *enabling*
+    /// the fault machinery changes no counter.
+    pub fn disabled() -> Self {
+        FaultConfig {
+            seed: 0,
+            task_fail_p: 0.0,
+            straggler_p: 0.0,
+            straggler_secs: 5.0,
+            cache_evict_p: 0.0,
+            max_task_retries: 3,
+            retry_backoff_secs: 1.0,
+        }
+    }
+
+    /// An aggressive preset for fault-matrix tests: frequent task failures,
+    /// stragglers, and cache evictions with a retry budget deep enough that
+    /// every workload still completes correctly.
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            task_fail_p: 0.05,
+            straggler_p: 0.05,
+            straggler_secs: 2.0,
+            cache_evict_p: 0.25,
+            max_task_retries: 8,
+            retry_backoff_secs: 0.5,
+        }
+    }
+
+    /// Sets the failure-schedule seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-attempt task-failure probability.
+    pub fn with_task_fail_p(mut self, p: f64) -> Self {
+        self.task_fail_p = p;
+        self
+    }
+
+    /// Sets the per-attempt straggler probability.
+    pub fn with_straggler_p(mut self, p: f64) -> Self {
+        self.straggler_p = p;
+        self
+    }
+
+    /// Sets the base straggler delay in simulated seconds.
+    pub fn with_straggler_secs(mut self, secs: f64) -> Self {
+        self.straggler_secs = secs;
+        self
+    }
+
+    /// Sets the per-read cache-eviction probability.
+    pub fn with_cache_evict_p(mut self, p: f64) -> Self {
+        self.cache_evict_p = p;
+        self
+    }
+
+    /// Sets the retry budget per partition task.
+    pub fn with_max_task_retries(mut self, n: u32) -> Self {
+        self.max_task_retries = n;
+        self
+    }
+
+    /// Sets the exponential-backoff base in simulated seconds.
+    pub fn with_retry_backoff_secs(mut self, secs: f64) -> Self {
+        self.retry_backoff_secs = secs;
+        self
+    }
+
+    /// Whether any injection probability is nonzero. When false the engine
+    /// never consults the schedule and takes the fault-free fast path.
+    pub fn injects(&self) -> bool {
+        self.task_fail_p > 0.0 || self.straggler_p > 0.0 || self.cache_evict_p > 0.0
+    }
+
+    /// The fault (if any) injected into attempt `attempt` of partition task
+    /// `part` of batch `site`. Pure: depends only on the config and the
+    /// three identifiers.
+    pub fn task_fault(&self, site: u64, part: u64, attempt: u32) -> TaskFault {
+        if self.task_fail_p <= 0.0 && self.straggler_p <= 0.0 {
+            return TaskFault::None;
+        }
+        let mut rng = self.decision_rng(STREAM_TASK, site, part, attempt as u64);
+        if self.task_fail_p > 0.0 && rng.gen_bool(self.task_fail_p) {
+            return TaskFault::Fail;
+        }
+        if self.straggler_p > 0.0 && rng.gen_bool(self.straggler_p) {
+            let jitter = 0.5 + rng.gen::<f64>();
+            return TaskFault::Straggle(self.straggler_secs * jitter);
+        }
+        TaskFault::None
+    }
+
+    /// Whether cache-read event number `event` (driver-ordered) finds its
+    /// entry evicted. Pure: depends only on the config and the event number.
+    pub fn cache_evicted(&self, event: u64) -> bool {
+        if self.cache_evict_p <= 0.0 {
+            return false;
+        }
+        let mut rng = self.decision_rng(STREAM_EVICT, event, 0, 0);
+        rng.gen_bool(self.cache_evict_p)
+    }
+
+    /// One freshly seeded generator per decision, so draws never depend on
+    /// how many draws other tasks made (i.e. on scheduling order).
+    fn decision_rng(&self, stream: u64, a: u64, b: u64, c: u64) -> StdRng {
+        let mut h = self.seed ^ fmix64(stream);
+        h = fmix64(h ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        h = fmix64(h ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        h = fmix64(h ^ c.wrapping_mul(0x1656_67B1_9E37_79F9));
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Decision-stream salts, so task faults and evictions with coinciding
+/// identifiers draw from unrelated parts of the seed space.
+const STREAM_TASK: u64 = 0x7461_736b; // "task"
+const STREAM_EVICT: u64 = 0x6576_6963; // "evic"
+
+/// 64-bit avalanche mixer (MurmurHash3 finalizer).
+fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    h
+}
+
+/// The injected fate of one partition-task attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TaskFault {
+    /// Runs normally.
+    None,
+    /// Fails (retryable up to the configured budget).
+    Fail,
+    /// Completes, but this many simulated seconds late.
+    Straggle(f64),
+}
+
+/// Why one partition task did not produce a value.
+#[derive(Debug)]
+pub enum TaskError {
+    /// An injected fault — transient by definition, so retryable.
+    Injected,
+    /// A real evaluation error (including a contained panic). Deterministic,
+    /// so never retried: it aborts the operator exactly like today.
+    Eval(ValueError),
+}
+
+/// Converts a caught panic payload into the typed error the executor
+/// surfaces. A payload that *is* a [`ValueError`] (a UDF error thrown across
+/// an unwind boundary) is downcast back into the typed error; string
+/// payloads keep their message; anything else gets a generic marker. The
+/// original text is never discarded.
+pub fn panic_value_error(payload: Box<dyn Any + Send>) -> ValueError {
+    let payload = match payload.downcast::<ValueError>() {
+        Ok(e) => return *e,
+        Err(p) => p,
+    };
+    let msg = match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "opaque panic payload".to_string(),
+        },
+    };
+    ValueError::Unknown(format!("partition task panicked: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_functions_of_identifiers() {
+        let cfg = FaultConfig::chaos(42);
+        for site in 0..50u64 {
+            for part in 0..8u64 {
+                for attempt in 0..3u32 {
+                    assert_eq!(
+                        cfg.task_fault(site, part, attempt),
+                        cfg.task_fault(site, part, attempt)
+                    );
+                }
+            }
+        }
+        for ev in 0..200u64 {
+            assert_eq!(cfg.cache_evicted(ev), cfg.cache_evicted(ev));
+        }
+    }
+
+    #[test]
+    fn rates_roughly_match_probabilities() {
+        let cfg = FaultConfig::disabled()
+            .with_seed(7)
+            .with_task_fail_p(0.2)
+            .with_straggler_p(0.1);
+        let mut fails = 0;
+        let mut straggles = 0;
+        let n = 20_000u64;
+        for site in 0..n {
+            match cfg.task_fault(site, 0, 0) {
+                TaskFault::Fail => fails += 1,
+                TaskFault::Straggle(secs) => {
+                    assert!(
+                        (0.5 * cfg.straggler_secs..1.5 * cfg.straggler_secs).contains(&secs),
+                        "delay out of range: {secs}"
+                    );
+                    straggles += 1;
+                }
+                TaskFault::None => {}
+            }
+        }
+        assert!((3_000..5_000).contains(&fails), "fails={fails}");
+        // Straggle draws condition on not failing: ~0.8 × 0.1.
+        assert!((1_000..2_300).contains(&straggles), "straggles={straggles}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultConfig::chaos(1);
+        let b = FaultConfig::chaos(2);
+        let schedule = |cfg: &FaultConfig| {
+            (0..500u64)
+                .map(|site| cfg.task_fault(site, 0, 0))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(schedule(&a), schedule(&b));
+    }
+
+    #[test]
+    fn disabled_injects_nothing() {
+        let cfg = FaultConfig::disabled();
+        assert!(!cfg.injects());
+        for site in 0..100 {
+            assert_eq!(cfg.task_fault(site, 0, 0), TaskFault::None);
+            assert!(!cfg.cache_evicted(site));
+        }
+    }
+
+    #[test]
+    fn panic_payloads_downcast_to_typed_errors() {
+        let e = panic_value_error(Box::new(ValueError::Arithmetic("div by zero".into())));
+        assert_eq!(e, ValueError::Arithmetic("div by zero".into()));
+        let e = panic_value_error(Box::new("plain &str".to_string()));
+        assert_eq!(
+            e,
+            ValueError::Unknown("partition task panicked: plain &str".into())
+        );
+        let e = panic_value_error(Box::new(17u32));
+        assert_eq!(
+            e,
+            ValueError::Unknown("partition task panicked: opaque panic payload".into())
+        );
+    }
+}

@@ -29,6 +29,7 @@
 pub mod cluster;
 pub mod dataset;
 pub mod exec;
+pub mod fault;
 pub mod metrics;
 pub mod ordmap;
 pub mod pool;
@@ -36,5 +37,6 @@ pub mod pool;
 pub use cluster::{ClusterSpec, Personality};
 pub use dataset::{Partitioned, Partitioning};
 pub use exec::{Engine, EngineRun};
+pub use fault::{FaultConfig, TaskFault};
 pub use metrics::{ExecError, ExecStats};
 pub use pool::{ParallelismMode, WorkerPool};

@@ -51,6 +51,29 @@ pub struct ExecStats {
     pub cache_misses: u64,
     /// Loop iterations driven by the driver.
     pub iterations: u64,
+    /// Partition-task attempts that failed (injected faults and contained
+    /// panics alike).
+    pub tasks_failed: u64,
+    /// Partition tasks re-dispatched after a recoverable failure.
+    pub tasks_retried: u64,
+    /// Task attempts that completed late as injected stragglers.
+    pub straggler_delays: u64,
+    /// Cached thunk results found evicted on read, forcing lineage
+    /// recomputation.
+    pub cache_evictions: u64,
+    /// Partitions rebuilt by lineage recomputation after an eviction.
+    pub recomputed_partitions: u64,
+    /// Plan nodes re-forced during lineage recomputation (the lineage-depth
+    /// counterpart of `recomputed_partitions`).
+    pub recomputed_plan_nodes: u64,
+    /// Simulated seconds spent on retry backoff and straggler delays — a
+    /// sub-total of `simulated_secs`, charged through the same deterministic
+    /// fixed-point clock.
+    pub retry_sim_secs: f64,
+    /// Real elapsed time spent in retry waves (attempt ≥ 1), the wall-clock
+    /// counterpart of `retry_sim_secs`. Excluded from equality like
+    /// `wall_secs`.
+    pub retry_wall_secs: f64,
 }
 
 /// Attoseconds per second — the resolution of the simulated clock.
@@ -99,6 +122,13 @@ impl PartialEq for ExecStats {
             && self.cache_hits == other.cache_hits
             && self.cache_misses == other.cache_misses
             && self.iterations == other.iterations
+            && self.tasks_failed == other.tasks_failed
+            && self.tasks_retried == other.tasks_retried
+            && self.straggler_delays == other.straggler_delays
+            && self.cache_evictions == other.cache_evictions
+            && self.recomputed_partitions == other.recomputed_partitions
+            && self.recomputed_plan_nodes == other.recomputed_plan_nodes
+            && self.retry_sim_secs == other.retry_sim_secs
     }
 }
 
@@ -106,18 +136,39 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:.2}s  shuffle={}  bcast={}  read={}  spill={}  records={}  stages={}  cache {}/{} hit/miss  iters={}",
+            "{:.2}s  shuffle={}  bcast={}  read={}  write={}  spill={}  records={}  stages={}  cache {}/{} hit/miss  iters={}",
             self.simulated_secs,
             human_bytes(self.bytes_shuffled),
             human_bytes(self.bytes_broadcast),
             human_bytes(self.bytes_read_storage),
+            human_bytes(self.bytes_written_storage),
             human_bytes(self.bytes_spilled),
             self.records_processed,
             self.stages,
             self.cache_hits,
             self.cache_misses,
             self.iterations,
-        )
+        )?;
+        // Failure observability: appended only when something actually went
+        // wrong, so fault-free output keeps its familiar one-line shape.
+        if self.tasks_failed > 0 || self.tasks_retried > 0 {
+            write!(
+                f,
+                "  failed={}  retried={}  retry_sim={:.2}s",
+                self.tasks_failed, self.tasks_retried, self.retry_sim_secs
+            )?;
+        }
+        if self.straggler_delays > 0 {
+            write!(f, "  stragglers={}", self.straggler_delays)?;
+        }
+        if self.cache_evictions > 0 {
+            write!(
+                f,
+                "  evicted={}  recomputed={}p/{}n",
+                self.cache_evictions, self.recomputed_partitions, self.recomputed_plan_nodes
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -152,6 +203,14 @@ pub enum ExecError {
     Eval(emma_compiler::value::ValueError),
     /// Driver-level loop safety cap exceeded.
     LoopCap(usize),
+    /// A partition task kept failing (injected faults) past its retry
+    /// budget: `attempts` total attempts were made.
+    TaskFailed {
+        /// Partition index of the task that exhausted its budget.
+        partition: usize,
+        /// Total attempts made (1 initial + retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -166,6 +225,13 @@ impl fmt::Display for ExecError {
             ),
             ExecError::Eval(e) => write!(f, "evaluation error: {e}"),
             ExecError::LoopCap(n) => write!(f, "loop exceeded {n} iterations"),
+            ExecError::TaskFailed {
+                partition,
+                attempts,
+            } => write!(
+                f,
+                "partition task {partition} failed after {attempts} attempts (retry budget exhausted)"
+            ),
         }
     }
 }
@@ -221,6 +287,51 @@ mod tests {
         assert_eq!(a, b);
         b.records_processed = 1;
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_includes_written_bytes() {
+        // Regression: sink/cache-spill traffic used to be invisible in bench
+        // output because `bytes_written_storage` was omitted.
+        let s = ExecStats {
+            bytes_written_storage: 2048,
+            ..Default::default()
+        };
+        assert!(s.to_string().contains("write=2.0KiB"), "{s}");
+    }
+
+    #[test]
+    fn display_appends_fault_counters_only_when_nonzero() {
+        let mut s = ExecStats::default();
+        let clean = s.to_string();
+        assert!(!clean.contains("failed="), "{clean}");
+        assert!(!clean.contains("stragglers="), "{clean}");
+        assert!(!clean.contains("evicted="), "{clean}");
+        s.tasks_failed = 3;
+        s.tasks_retried = 3;
+        s.retry_sim_secs = 1.5;
+        s.straggler_delays = 2;
+        s.cache_evictions = 1;
+        s.recomputed_partitions = 8;
+        s.recomputed_plan_nodes = 4;
+        let noisy = s.to_string();
+        assert!(
+            noisy.contains("failed=3  retried=3  retry_sim=1.50s"),
+            "{noisy}"
+        );
+        assert!(noisy.contains("stragglers=2"), "{noisy}");
+        assert!(noisy.contains("evicted=1  recomputed=8p/4n"), "{noisy}");
+    }
+
+    #[test]
+    fn task_failed_error_displays() {
+        let e = ExecError::TaskFailed {
+            partition: 7,
+            attempts: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("partition task 7"), "{msg}");
+        assert!(msg.contains("4 attempts"), "{msg}");
     }
 
     #[test]

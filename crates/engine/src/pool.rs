@@ -23,11 +23,16 @@
 //! derived from aggregate counts after the parallel section), so the cost
 //! model is oblivious to the thread count.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 use emma_compiler::value::ValueError;
+
+/// The outcome of one contained task: `Ok` with the closure's value, or the
+/// caught panic payload (same shape as [`std::thread::Result`]).
+pub type Settled<T> = std::thread::Result<T>;
 
 /// How the engine maps per-partition work onto OS threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,7 +61,10 @@ struct Job {
 
 struct JobState {
     remaining: usize,
-    panicked: bool,
+    /// Caught panic payloads, tagged with the panicking task's index. The
+    /// *lowest-index* payload is the one surfaced to the submitter, so the
+    /// observable panic never depends on scheduling order.
+    panics: Vec<(usize, Box<dyn Any + Send>)>,
 }
 
 impl Job {
@@ -68,10 +76,10 @@ impl Job {
             if i >= self.total {
                 return;
             }
-            let ok = catch_unwind(AssertUnwindSafe(|| (self.task)(i))).is_ok();
+            let outcome = catch_unwind(AssertUnwindSafe(|| (self.task)(i)));
             let mut st = self.state.lock().unwrap();
-            if !ok {
-                st.panicked = true;
+            if let Err(payload) = outcome {
+                st.panics.push((i, payload));
             }
             st.remaining -= 1;
             if st.remaining == 0 {
@@ -124,16 +132,42 @@ impl WorkerPool {
     }
 
     /// Runs `f(0..total)` across the pool, blocking until every task has
-    /// finished. Panics (after all tasks settle) if any task panicked.
+    /// finished. If any task panicked, re-raises the **lowest-index**
+    /// panicking task's original payload (after all tasks settle) via
+    /// [`resume_unwind`], so the message survives and the choice of payload
+    /// does not depend on scheduling order.
     pub fn run(&self, total: usize, f: &(dyn Fn(usize) + Sync)) {
+        if let Some((_, payload)) = self.try_run(total, f) {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Runs `f(0..total)` across the pool with per-task panic containment:
+    /// every task settles, and if any panicked the lowest-index task's
+    /// `(index, payload)` is returned instead of unwinding. The pool stays
+    /// fully usable afterwards — workers never unwind (panics are caught
+    /// inside [`Job::work`] before any lock is held), so no mutex is ever
+    /// poisoned and no worker thread is lost.
+    pub fn try_run(
+        &self,
+        total: usize,
+        f: &(dyn Fn(usize) + Sync),
+    ) -> Option<(usize, Box<dyn Any + Send>)> {
         if total == 0 {
-            return;
+            return None;
         }
         if self.size == 0 || total == 1 {
+            // Inline path: still contain per-task panics so every task runs
+            // and the lowest-index payload wins, matching the pooled path.
+            let mut first: Option<(usize, Box<dyn Any + Send>)> = None;
             for i in 0..total {
-                f(i);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    if first.is_none() {
+                        first = Some((i, payload));
+                    }
+                }
             }
-            return;
+            return first;
         }
         // Erase the borrow lifetime; see the `Job` safety comment.
         let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
@@ -143,7 +177,7 @@ impl WorkerPool {
             total,
             state: Mutex::new(JobState {
                 remaining: total,
-                panicked: false,
+                panics: Vec::new(),
             }),
             done: Condvar::new(),
         });
@@ -159,11 +193,10 @@ impl WorkerPool {
         while st.remaining > 0 {
             st = job.done.wait(st).unwrap();
         }
-        let panicked = st.panicked;
+        let mut panics = std::mem::take(&mut st.panics);
         drop(st);
-        if panicked {
-            panic!("partition worker panicked");
-        }
+        panics.sort_by_key(|(i, _)| *i);
+        panics.into_iter().next()
     }
 }
 
@@ -321,6 +354,63 @@ impl Parallelism {
     {
         self.run_indexed(parts.len(), total_rows, |i| f(&parts[i]).map(Arc::new))
     }
+
+    /// Index-addressed fan-out with **per-task panic containment**: every
+    /// task settles and the result vector holds each task's value or its
+    /// caught panic payload, in index order. This is the substrate of the
+    /// engine's fault-tolerant task waves — a panicking row no longer tears
+    /// down the batch, and the executor decides per slot whether to surface,
+    /// convert, or retry.
+    ///
+    /// `wide` selects the same serial/parallel policy as
+    /// [`Parallelism::run_wide`] vs. [`Parallelism::run_indexed`]: wide
+    /// operators stay serial in per-operator mode (the seed never
+    /// parallelized them), narrow ones fan out in both modes. Below the row
+    /// gate everything runs serially. The policy only moves work between
+    /// threads — the settled outcomes are identical either way.
+    pub fn run_settled<T, F>(&self, wide: bool, n: usize, total_rows: u64, f: F) -> Vec<Settled<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let serial = !self.gate(total_rows) || (wide && self.mode == ParallelismMode::PerOperator);
+        if serial {
+            return (0..n)
+                .map(|i| catch_unwind(AssertUnwindSafe(|| f(i))))
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<Settled<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let fill = |i: usize| {
+            // Catch inside the fill so the slot-store itself never unwinds;
+            // the pool/scope below therefore cannot observe a panic.
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(i)));
+            *slots[i].lock().unwrap() = Some(outcome);
+        };
+        match &self.pool {
+            Some(pool) => pool.run(n, &fill),
+            None => {
+                // Per-operator narrow path: fresh scope, work-stealing over
+                // partition indices (same shape as `run_indexed`).
+                let threads = self.threads.min(n.max(1));
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(|| loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                return;
+                            }
+                            fill(i);
+                        });
+                    }
+                });
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("settled slot filled"))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +461,96 @@ mod tests {
         assert_eq!(hit.load(Ordering::Relaxed), 8);
         // The pool survives a panicked batch.
         pool.run(2, &|_| {});
+    }
+
+    #[test]
+    fn pool_panic_payload_text_survives() {
+        // Regression: `run` used to re-raise a generic "partition worker
+        // panicked" string, discarding the original payload.
+        let pool = WorkerPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 5 {
+                    panic!("bad row in partition {i}");
+                }
+            });
+        }));
+        let payload = r.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("String payload");
+        assert_eq!(msg, "bad row in partition 5");
+    }
+
+    #[test]
+    fn pool_surfaces_lowest_index_panic() {
+        let pool = WorkerPool::new(3);
+        for _ in 0..20 {
+            let (i, payload) = pool
+                .try_run(16, &|i| {
+                    if i % 2 == 1 {
+                        panic!("odd {i}");
+                    }
+                })
+                .expect("some task panicked");
+            assert_eq!(i, 1);
+            assert_eq!(payload.downcast_ref::<String>().unwrap(), "odd 1");
+        }
+    }
+
+    #[test]
+    fn pool_usable_after_panicked_batch() {
+        let pool = WorkerPool::new(2);
+        for round in 0..3 {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(6, &|i| {
+                    if i == round {
+                        panic!("round {round}");
+                    }
+                });
+            }));
+            assert!(r.is_err());
+            // A full successful batch runs on the same pool afterwards: no
+            // worker was lost and no mutex poisoned.
+            let sum = AtomicU64::new(0);
+            pool.run(10, &|i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 45);
+        }
+    }
+
+    #[test]
+    fn run_settled_contains_panics_per_task() {
+        for (mode, wide) in [
+            (ParallelismMode::Pool, false),
+            (ParallelismMode::Pool, true),
+            (ParallelismMode::PerOperator, false),
+            (ParallelismMode::PerOperator, true),
+        ] {
+            let par = Parallelism::new(mode, Some(4), 0);
+            let settled = par.run_settled(wide, 8, u64::MAX, |i| {
+                if i == 2 || i == 6 {
+                    panic!("task {i} died");
+                }
+                i * 10
+            });
+            assert_eq!(settled.len(), 8);
+            for (i, s) in settled.iter().enumerate() {
+                match s {
+                    Ok(v) => {
+                        assert_ne!(i, 2);
+                        assert_ne!(i, 6);
+                        assert_eq!(*v, i * 10);
+                    }
+                    Err(p) => {
+                        assert!(i == 2 || i == 6);
+                        assert_eq!(
+                            p.downcast_ref::<String>().unwrap(),
+                            &format!("task {i} died")
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

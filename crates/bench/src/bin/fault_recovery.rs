@@ -1,0 +1,144 @@
+//! Fault-recovery experiment: the Fig. 4 workflow and the Fig. 5 group
+//! aggregation re-run under deterministic chaos, with and without
+//! speculative execution, on both engines.
+//!
+//! Three legs per workload:
+//!
+//! * `no faults` — the engine without a fault config (the numbers of
+//!   EXPERIMENTS.md's Fig. 4 / Fig. 5 sections);
+//! * `chaos` — straggler-heavy chaos: `FaultConfig::chaos` rates with
+//!   `straggler_p = 0.3` and 4-second injected delays, so recovery cost is
+//!   clearly visible in the simulated clock;
+//! * `chaos + speculation` — the same schedule with backup tasks cloned
+//!   for every straggler.
+//!
+//! Every leg produces exactly the fault-free rows; the difference is pure
+//! recovery cost. The chaos seed is fixed, so these tables are
+//! deterministic and reproducible bit-for-bit.
+
+use emma::prelude::*;
+use emma_bench::{fig4, fig5, print_table, Outcome, PAPER_TIMEOUT_SECS};
+use emma_datagen::KeyDistribution;
+
+const CHAOS_SEED: u64 = 0xFA17;
+
+fn chaos() -> FaultConfig {
+    FaultConfig::chaos(CHAOS_SEED)
+        .with_straggler_p(0.3)
+        .with_straggler_secs(4.0)
+}
+
+fn legs() -> [(&'static str, Option<FaultConfig>); 3] {
+    [
+        ("no faults", None),
+        ("chaos", Some(chaos())),
+        ("chaos + speculation", Some(chaos().with_speculation(true))),
+    ]
+}
+
+fn with_faults(engine: Engine, faults: &Option<FaultConfig>) -> Engine {
+    match faults {
+        Some(cfg) => engine.with_faults(*cfg),
+        None => engine,
+    }
+}
+
+fn fig4_recovery() {
+    let (program, catalog) = fig4::workload();
+    let compiled = parallelize(&program, &OptimizerFlags::all());
+    let mut rows = Vec::new();
+    for (ename, engine) in [
+        ("spark (sparrow)", Engine::sparrow()),
+        ("flink (flamingo)", Engine::flamingo()),
+    ] {
+        let baseline = engine.run(&compiled, &catalog).expect("fig4 fault-free");
+        for (leg, faults) in legs() {
+            let engine = with_faults(engine.clone(), &faults).with_timeout(PAPER_TIMEOUT_SECS);
+            let run = engine.run(&compiled, &catalog).expect("fig4 under chaos");
+            assert_eq!(baseline.writes, run.writes, "recovery corrupted fig4 rows");
+            let s = &run.stats;
+            rows.push(vec![
+                ename.to_string(),
+                leg.to_string(),
+                format!("{:.0}s", s.simulated_secs),
+                format!("{:.0}s", s.retry_sim_secs),
+                format!("{}/{}", s.tasks_failed, s.straggler_delays),
+                if s.tasks_speculated > 0 {
+                    format!(
+                        "{}/{} ({:.0}s wasted)",
+                        s.speculation_wins, s.tasks_speculated, s.speculation_wasted_secs
+                    )
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+    }
+    print_table(
+        "Fault recovery — Fig. 4 workflow (all optimizations)",
+        &[
+            "Engine",
+            "Config",
+            "Runtime",
+            "Recovery",
+            "Fail/Strag",
+            "Spec wins",
+        ],
+        &rows,
+    );
+}
+
+fn fig5_recovery() {
+    let program = emma::algorithms::groupagg::program();
+    let compiled = parallelize(&program, &OptimizerFlags::all());
+    let mut rows = Vec::new();
+    for (ename, personality) in [
+        ("spark (sparrow)", Personality::sparrow()),
+        ("flink (flamingo)", Personality::flamingo()),
+    ] {
+        for (leg, faults) in legs() {
+            let mut row = vec![ename.to_string(), leg.to_string()];
+            for dop in fig5::DOPS {
+                let catalog = emma::algorithms::groupagg::catalog(
+                    fig5::ROWS_PER_DOP_UNIT * dop,
+                    fig5::NUM_KEYS,
+                    KeyDistribution::Uniform,
+                    42,
+                );
+                let engine = Engine::new(
+                    ClusterSpec::paper_scaled()
+                        .with_nodes(dop / 8)
+                        .with_mem_per_worker(fig5::MEM_PER_WORKER),
+                    personality.clone(),
+                )
+                .with_timeout(fig5::FIG5_TIMEOUT_SECS);
+                let engine = with_faults(engine, &faults);
+                let outcome = match engine.run(&compiled, &catalog) {
+                    Ok(run) => Outcome::Finished(run.stats.simulated_secs),
+                    Err(ExecError::Timeout { .. }) => Outcome::TimedOut,
+                    Err(e) => panic!("unexpected engine error: {e}"),
+                };
+                row.push(outcome.display());
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        "Fault recovery — Fig. 5 group aggregation (uniform keys, GF on)",
+        &[
+            "Engine", "Config", "DOP 80", "DOP 160", "DOP 320", "DOP 640",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    fig4_recovery();
+    fig5_recovery();
+    println!(
+        "\nShapes: chaos pays injected failures + stragglers as pure recovery time on\n\
+         top of the fault-free runtime; speculation claws back most of the straggler\n\
+         share (the dominant term at these rates) at the cost of duplicate work,\n\
+         while rows and scalars stay byte-identical to the fault-free run."
+    );
+}

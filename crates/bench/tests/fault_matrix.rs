@@ -61,6 +61,31 @@ fn assert_fault_matrix(what: &str, program: &Program, catalog: &Catalog, flags: 
             b.stats.simulated_secs.to_bits(),
             "{what}: chaos simulated time not bit-identical"
         );
+
+        // 4. Speculation rides the same primary schedule: identical results
+        //    and failure counts, wave charges only ever shortened.
+        let s = engine
+            .clone()
+            .with_faults(FaultConfig::chaos_speculative(CHAOS_SEED))
+            .run(&compiled, catalog)
+            .expect(what);
+        assert_eq!(plain.writes, s.writes, "{what}: speculation corrupted rows");
+        assert_eq!(
+            plain.scalars, s.scalars,
+            "{what}: speculation corrupted scalars"
+        );
+        assert_eq!(
+            s.stats.straggler_delays, a.stats.straggler_delays,
+            "{what}: speculation perturbed the primary schedule"
+        );
+        assert_eq!(s.stats.tasks_failed, a.stats.tasks_failed, "{what}");
+        assert_eq!(s.stats.tasks_speculated, s.stats.straggler_delays, "{what}");
+        assert!(
+            s.stats.retry_sim_secs <= a.stats.retry_sim_secs,
+            "{what}: speculation increased straggler cost: {} vs {}",
+            s.stats.retry_sim_secs,
+            a.stats.retry_sim_secs
+        );
     }
 }
 
@@ -126,6 +151,47 @@ fn pagerank_fault_matrix() {
         seed: 42,
     });
     assert_fault_matrix("pagerank", &program, &catalog, &OptimizerFlags::all());
+}
+
+#[test]
+fn speculation_cuts_straggler_heavy_retry_cost() {
+    // On a straggler-heavy schedule the drop must be strict, and the
+    // duplicate work accounted.
+    let params = pagerank::PagerankParams {
+        num_pages: 200,
+        iterations: 5,
+        ..Default::default()
+    };
+    let program = pagerank::program(&params);
+    let catalog = pagerank::catalog(&emma_datagen::graph::GraphSpec {
+        vertices: params.num_pages,
+        avg_degree: 4,
+        skew: 1.0,
+        seed: 42,
+    });
+    let compiled = parallelize(&program, &OptimizerFlags::all());
+    let heavy = FaultConfig::chaos(CHAOS_SEED)
+        .with_straggler_p(0.35)
+        .with_straggler_secs(4.0);
+    let off = Engine::sparrow()
+        .with_faults(heavy)
+        .run(&compiled, &catalog)
+        .expect("straggler-heavy, speculation off");
+    let on = Engine::sparrow()
+        .with_faults(heavy.with_speculation(true))
+        .run(&compiled, &catalog)
+        .expect("straggler-heavy, speculation on");
+    assert_eq!(off.writes, on.writes);
+    assert!(off.stats.straggler_delays > 0, "{}", off.stats);
+    assert!(on.stats.speculation_wins > 0, "{}", on.stats);
+    assert!(on.stats.speculation_wasted_secs > 0.0, "{}", on.stats);
+    assert!(
+        on.stats.retry_sim_secs < off.stats.retry_sim_secs,
+        "speculation must cut straggler-heavy retry cost: {} vs {}",
+        on.stats.retry_sim_secs,
+        off.stats.retry_sim_secs
+    );
+    assert!(on.stats.simulated_secs < off.stats.simulated_secs);
 }
 
 #[test]

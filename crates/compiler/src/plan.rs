@@ -460,6 +460,15 @@ impl Plan {
         });
         n
     }
+
+    /// Whether this cache site is worth persisting to durable storage as a
+    /// checkpoint: losing it would force at least `min_lineage` logical
+    /// operators to be re-derived. Shallow sites fail the threshold — a bare
+    /// source scan's recovery path *is* re-reading the source, so writing it
+    /// out again buys nothing.
+    pub fn checkpoint_eligible(&self, min_lineage: usize) -> bool {
+        self.lineage_size() >= min_lineage
+    }
 }
 
 pub(crate) fn collect_scalar_bag_refs(e: &ScalarExpr, out: &mut Vec<String>) {

@@ -29,7 +29,7 @@ use emma_compiler::plan::PipelineStage;
 
 use crate::cluster::{ClusterSpec, Personality};
 use crate::dataset::{value_hash, Partitioned, Partitioning};
-use crate::fault::{self, FaultConfig, TaskError, TaskFault};
+use crate::fault::{self, CheckpointConfig, FaultConfig, TaskError, TaskFault};
 use crate::metrics::{ExecError, ExecStats};
 use crate::ordmap::InsertionMap;
 use crate::pool::{Parallelism, ParallelismMode};
@@ -51,6 +51,11 @@ struct Thunk {
     evictable: bool,
     /// The memoized result (only used when `cache_enabled`).
     memo: Mutex<Option<Partitioned>>,
+    /// Whether the memoized result has been persisted to simulated durable
+    /// storage under the engine's [`CheckpointConfig`]. A persisted thunk
+    /// recovers from an eviction with a storage read instead of lineage
+    /// recomputation.
+    persisted: std::sync::atomic::AtomicBool,
 }
 
 /// Keyed state held in place on the cluster: hash-partitioned by the element
@@ -118,6 +123,10 @@ pub struct Engine {
     /// config with all probabilities zero both take the fault-free
     /// execution path with bit-identical counters.
     pub faults: Option<FaultConfig>,
+    /// Opt-in simulated checkpointing of eligible cache sites; `None` (the
+    /// default) persists nothing and leaves every counter bit-identical to
+    /// an engine without the feature.
+    pub checkpoints: Option<CheckpointConfig>,
 }
 
 /// Default for [`Engine::parallelism_threshold`]: below this many rows the
@@ -136,6 +145,7 @@ impl Engine {
             worker_threads: None,
             parallelism_threshold: DEFAULT_PARALLELISM_THRESHOLD,
             faults: None,
+            checkpoints: None,
         }
     }
 
@@ -182,6 +192,17 @@ impl Engine {
     /// with all probabilities zero is indistinguishable from no config.
     pub fn with_faults(mut self, cfg: FaultConfig) -> Self {
         self.faults = Some(cfg);
+        self
+    }
+
+    /// Enables simulated checkpointing: eligible cache writes are also
+    /// persisted to simulated durable storage (a charged
+    /// `bytes_written_storage` write), so a later cache eviction restores
+    /// the result with a storage read instead of re-deriving its plan
+    /// lineage — recovery depth becomes O(delta to the nearest checkpoint)
+    /// instead of O(lineage depth).
+    pub fn with_checkpoints(mut self, cfg: CheckpointConfig) -> Self {
+        self.checkpoints = Some(cfg);
         self
     }
 
@@ -234,6 +255,7 @@ impl Engine {
             bag_cache: HashMap::new(),
             task_sites: 0,
             cache_events: 0,
+            checkpoint_events: 0,
         };
         session.exec_stmts(&prog.body)?;
         let mut scalars = HashMap::new();
@@ -442,6 +464,10 @@ struct Session<'a> {
     /// Driver-ordered counter of cache-read events under fault injection
     /// (the eviction schedule's identifier space).
     cache_events: u64,
+    /// Driver-ordered counter of checkpoint-eligible cache writes — the
+    /// identifier space `CheckpointConfig::interval` selects from. Advances
+    /// only when checkpointing is configured.
+    checkpoint_events: u64,
 }
 
 impl<'a> Session<'a> {
@@ -499,6 +525,40 @@ impl<'a> Session<'a> {
     /// clock; stragglers run normally but charge the wave their worst delay
     /// (stage time = slowest task); real evaluation errors and panics are
     /// deterministic, so they abort immediately — lowest partition wins.
+    /// Retry waves gate their fan-out on the rows still pending (the
+    /// surviving partitions' share of the batch), not on the original batch
+    /// size; the gate only moves work between threads, so the settled
+    /// outcomes and every charge are unaffected.
+    ///
+    /// With [`FaultConfig::speculation`] on, every straggler additionally
+    /// races a deterministic backup copy whose fate comes from the
+    /// independent backup stream ([`FaultConfig::backup_fault`]): the wave
+    /// is charged `min(straggle_delay, speculation_overhead + backup_delay)`
+    /// per straggler (worst over the wave), a winning backup counts as
+    /// `speculation_wins`, and the losing copy's duplicate runtime is
+    /// charged as wasted cluster work (`speculation_wasted_secs`, spread
+    /// over the cluster DOP). The race is settled on the driver from the
+    /// precomputed fates, so the task body still runs **exactly once** per
+    /// partition per wave — single-consumption inputs (the shuffle's
+    /// owned-partition move-out) are never double-drained, which is what
+    /// makes the dispatch path task-cloning-safe.
+    ///
+    /// Accounting order within a wave (all deliberate, documented
+    /// semantics):
+    /// 1. The wave settles first. A wave that aborts with a real evaluation
+    ///    error or a contained panic charges **nothing** for its stragglers:
+    ///    their delays describe work the abort discarded, so
+    ///    `straggler_delays`/`retry_sim_secs` only ever count completed
+    ///    waves.
+    /// 2. Straggler (and speculation) charges land only after the wave
+    ///    survives.
+    /// 3. A partition that exhausts its retry budget reports its **own**
+    ///    per-partition attempt count in [`ExecError::TaskFailed`], not the
+    ///    global wave counter.
+    /// 4. The simulated-time budget is checked **before** the next wave's
+    ///    backoff is charged, so a budget-exhausted run never pays for a
+    ///    wave that will not start and `ExecError::Timeout::at_secs`
+    ///    excludes it.
     fn run_tasks<T, F>(
         &mut self,
         wide: bool,
@@ -531,16 +591,30 @@ impl<'a> Session<'a> {
         // Ascending at every wave (failures are collected in settle order),
         // so "first error in wave order" is "lowest partition index".
         let mut pending: Vec<usize> = (0..n).collect();
+        // Per-partition dispatch counts, so a budget-exhausted partition
+        // reports how often *it* was attempted — independent of the global
+        // wave counter.
+        let mut attempts_made: Vec<u32> = vec![0; n];
         let mut attempt: u32 = 0;
         loop {
             let fates: Vec<TaskFault> = pending
                 .iter()
                 .map(|&pi| cfg.task_fault(site, pi as u64, attempt))
                 .collect();
+            for &pi in &pending {
+                attempts_made[pi] += 1;
+            }
+            // Retry waves carry only the surviving partitions: gate the
+            // fan-out on their share of the batch, not the full batch.
+            let wave_rows = if pending.len() == n {
+                total_rows
+            } else {
+                total_rows * pending.len() as u64 / n.max(1) as u64
+            };
             let wave_start = (attempt > 0).then(std::time::Instant::now);
             let settled =
                 self.par
-                    .run_settled(wide, pending.len(), total_rows, |wi| match fates[wi] {
+                    .run_settled(wide, pending.len(), wave_rows, |wi| match fates[wi] {
                         // A killed task never runs its body — its partition's
                         // work is lost and must be redone on retry.
                         TaskFault::Fail => Err(TaskError::Injected),
@@ -549,18 +623,9 @@ impl<'a> Session<'a> {
             if let Some(t0) = wave_start {
                 self.stats.retry_wall_secs += t0.elapsed().as_secs_f64();
             }
-            // The wave lasts as long as its slowest straggler.
-            let mut worst_straggle = 0.0f64;
-            for fate in &fates {
-                if let TaskFault::Straggle(secs) = fate {
-                    self.stats.straggler_delays += 1;
-                    worst_straggle = worst_straggle.max(*secs);
-                }
-            }
-            if worst_straggle > 0.0 {
-                self.stats.charge_secs(worst_straggle);
-                self.stats.retry_sim_secs += worst_straggle;
-            }
+            // Settle before any straggler accounting: an aborting wave
+            // (real eval error / contained panic) discards its work, so its
+            // stragglers must not distort `straggler_delays`/`retry_sim_secs`.
             let mut failed: Vec<usize> = Vec::new();
             for (wi, s) in settled.into_iter().enumerate() {
                 let pi = pending[wi];
@@ -577,6 +642,52 @@ impl<'a> Session<'a> {
                     }
                 }
             }
+            // The wave lasts as long as its slowest task. Without
+            // speculation that is the worst straggler; with it, each
+            // straggler races a backup copy and contributes whichever copy
+            // finishes first.
+            let mut worst_effective = 0.0f64;
+            let mut wasted = 0.0f64;
+            for (wi, fate) in fates.iter().enumerate() {
+                let TaskFault::Straggle(delay) = *fate else {
+                    continue;
+                };
+                self.stats.straggler_delays += 1;
+                let mut effective = delay;
+                if cfg.speculation {
+                    self.stats.tasks_speculated += 1;
+                    let backup_finish = match cfg.backup_fault(site, pending[wi] as u64, attempt) {
+                        // A backup that dies at launch can never win.
+                        TaskFault::Fail => f64::INFINITY,
+                        TaskFault::Straggle(b) => cfg.speculation_overhead_secs + b,
+                        TaskFault::None => cfg.speculation_overhead_secs,
+                    };
+                    if backup_finish < delay {
+                        self.stats.speculation_wins += 1;
+                        effective = backup_finish;
+                    }
+                    // Until the winner finishes, both copies occupy
+                    // executor slots: the duplicate runtime is wasted
+                    // cluster work. A backup that died at launch burned
+                    // only its startup overhead.
+                    wasted += if backup_finish.is_finite() {
+                        effective
+                    } else {
+                        cfg.speculation_overhead_secs
+                    };
+                }
+                worst_effective = worst_effective.max(effective);
+            }
+            if worst_effective > 0.0 {
+                self.stats.charge_secs(worst_effective);
+                self.stats.retry_sim_secs += worst_effective;
+            }
+            if wasted > 0.0 {
+                self.stats.speculation_wasted_secs += wasted;
+                // Duplicates steal cluster throughput, not stage latency:
+                // spread the burned slot-seconds over the DOP.
+                self.stats.charge_secs(wasted / self.dop().max(1) as f64);
+            }
             if failed.is_empty() {
                 return Ok(results
                     .into_iter()
@@ -586,16 +697,18 @@ impl<'a> Session<'a> {
             if attempt >= cfg.max_task_retries {
                 return Err(ExecError::TaskFailed {
                     partition: failed[0],
-                    attempts: attempt + 1,
+                    attempts: attempts_made[failed[0]],
                 });
             }
+            self.stats.tasks_retried += failed.len() as u64;
+            // Budget before backoff: an exhausted budget aborts without
+            // paying for a retry wave that will never start.
+            self.check_budget()?;
             let backoff = cfg.retry_backoff_secs * (1u64 << attempt.min(20)) as f64;
             if backoff > 0.0 {
                 self.stats.charge_secs(backoff);
                 self.stats.retry_sim_secs += backoff;
             }
-            self.stats.tasks_retried += failed.len() as u64;
-            self.check_budget()?;
             pending = failed;
             attempt += 1;
         }
@@ -700,6 +813,7 @@ impl<'a> Session<'a> {
                             cache_enabled: cached,
                             evictable: true,
                             memo: Mutex::new(None),
+                            persisted: std::sync::atomic::AtomicBool::new(false),
                         };
                         self.env.insert(name.clone(), Binding::Bag(Arc::new(thunk)));
                     }
@@ -880,6 +994,7 @@ impl<'a> Session<'a> {
                     cache_enabled: true,
                     evictable: false,
                     memo: Mutex::new(Some(delta_data)),
+                    persisted: std::sync::atomic::AtomicBool::new(false),
                 };
                 self.env
                     .insert(delta.clone(), Binding::Bag(Arc::new(thunk)));
@@ -2004,13 +2119,31 @@ impl<'a> Session<'a> {
                         let event = self.cache_events;
                         self.cache_events += 1;
                         if cfg.cache_evicted(event) {
-                            *thunk.memo.lock().unwrap() = None;
                             self.stats.cache_evictions += 1;
+                            if thunk.persisted.load(std::sync::atomic::Ordering::Relaxed) {
+                                // The executor's in-memory copy is lost, but
+                                // the checkpoint survives in durable
+                                // storage: restore it with a storage read
+                                // and a fresh cache write instead of
+                                // re-deriving lineage — recovery cost is
+                                // O(delta to this checkpoint), not
+                                // O(lineage depth).
+                                self.stats.checkpoint_restores += 1;
+                                let spec = *self.spec();
+                                let bytes = hit.total_bytes();
+                                self.stats.bytes_read_storage += bytes;
+                                self.stats
+                                    .charge_secs(bytes as f64 / (spec.disk_bw * spec.nodes as f64));
+                                self.charge_cache_write(&hit);
+                                return Ok(hit);
+                            }
+                            *thunk.memo.lock().unwrap() = None;
                             self.stats.recomputed_plan_nodes += thunk.plan.lineage_size() as u64;
                             let result = self.exec_bag(&thunk.plan.clone(), &thunk.env.clone())?;
                             self.stats.cache_misses += 1;
                             self.stats.recomputed_partitions += result.parts.len() as u64;
                             self.charge_cache_write(&result);
+                            self.maybe_checkpoint(thunk, &result);
                             *thunk.memo.lock().unwrap() = Some(result.clone());
                             return Ok(result);
                         }
@@ -2023,6 +2156,7 @@ impl<'a> Session<'a> {
             let result = self.exec_bag(&thunk.plan.clone(), &thunk.env.clone())?;
             self.stats.cache_misses += 1;
             self.charge_cache_write(&result);
+            self.maybe_checkpoint(thunk, &result);
             *thunk.memo.lock().unwrap() = Some(result.clone());
             Ok(result)
         } else {
@@ -2030,6 +2164,36 @@ impl<'a> Session<'a> {
             self.stats.cache_misses += 1;
             self.exec_bag(&thunk.plan.clone(), &thunk.env.clone())
         }
+    }
+
+    /// Persists an eligible cache write to simulated durable storage under
+    /// the engine's [`CheckpointConfig`]. Eligibility and selection are
+    /// driver-ordered (the `checkpoint_events` counter), so the checkpoint
+    /// placement — like every other fault decision — is independent of
+    /// thread count and dispatch mode. The write is charged at full storage
+    /// bandwidth and shows up in `bytes_written_storage`, which is the
+    /// price paid for O(delta) recovery.
+    fn maybe_checkpoint(&mut self, thunk: &Thunk, d: &Partitioned) {
+        let Some(ck) = self.engine.checkpoints else {
+            return;
+        };
+        if !thunk.evictable || !thunk.plan.checkpoint_eligible(ck.min_lineage) {
+            return;
+        }
+        let event = self.checkpoint_events;
+        self.checkpoint_events += 1;
+        if !event.is_multiple_of(ck.interval.max(1)) {
+            return;
+        }
+        thunk
+            .persisted
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        self.stats.checkpoints_written += 1;
+        let spec = *self.spec();
+        let bytes = d.total_bytes();
+        self.stats.bytes_written_storage += bytes;
+        self.stats
+            .charge_secs(bytes as f64 / (spec.disk_bw * spec.nodes as f64));
     }
 
     fn charge_cache_read(&mut self, d: &Partitioned) {

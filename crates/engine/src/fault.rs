@@ -61,6 +61,19 @@ pub struct FaultConfig {
     /// seconds, charged to the simulated clock via
     /// [`crate::metrics::ExecStats::charge_secs`].
     pub retry_backoff_secs: f64,
+    /// Whether the scheduler launches speculative backup copies of straggling
+    /// tasks (MapReduce's backup-task mitigation, Dean & Ghemawat OSDI 2004).
+    /// When on, a straggler's wave is charged
+    /// `min(straggle_delay, speculation_overhead_secs + backup_delay)` —
+    /// whichever copy finishes first — and the loser's duplicate runtime is
+    /// accounted as wasted cluster work. Off by default (and off in both
+    /// presets), so enabling the fault machinery without this knob keeps
+    /// every counter bit-identical to the PR 3 engine.
+    pub speculation: bool,
+    /// Launch cost of one backup copy in simulated seconds: scheduling delay
+    /// plus re-reading the task's input split. A backup can only win its race
+    /// when `speculation_overhead_secs + backup_delay < straggle_delay`.
+    pub speculation_overhead_secs: f64,
 }
 
 impl Default for FaultConfig {
@@ -82,6 +95,8 @@ impl FaultConfig {
             cache_evict_p: 0.0,
             max_task_retries: 3,
             retry_backoff_secs: 1.0,
+            speculation: false,
+            speculation_overhead_secs: 0.25,
         }
     }
 
@@ -97,7 +112,16 @@ impl FaultConfig {
             cache_evict_p: 0.25,
             max_task_retries: 8,
             retry_backoff_secs: 0.5,
+            speculation: false,
+            speculation_overhead_secs: 0.25,
         }
+    }
+
+    /// [`FaultConfig::chaos`] with speculative execution switched on — the
+    /// same failure/straggler/eviction schedule, but stragglers race backup
+    /// copies instead of stalling their wave.
+    pub fn chaos_speculative(seed: u64) -> Self {
+        Self::chaos(seed).with_speculation(true)
     }
 
     /// Sets the failure-schedule seed.
@@ -142,6 +166,18 @@ impl FaultConfig {
         self
     }
 
+    /// Enables or disables speculative backup copies for stragglers.
+    pub fn with_speculation(mut self, on: bool) -> Self {
+        self.speculation = on;
+        self
+    }
+
+    /// Sets the launch cost of one speculative backup copy.
+    pub fn with_speculation_overhead_secs(mut self, secs: f64) -> Self {
+        self.speculation_overhead_secs = secs;
+        self
+    }
+
     /// Whether any injection probability is nonzero. When false the engine
     /// never consults the schedule and takes the fault-free fast path.
     pub fn injects(&self) -> bool {
@@ -152,10 +188,24 @@ impl FaultConfig {
     /// `part` of batch `site`. Pure: depends only on the config and the
     /// three identifiers.
     pub fn task_fault(&self, site: u64, part: u64, attempt: u32) -> TaskFault {
+        self.draw_fault(STREAM_TASK, site, part, attempt)
+    }
+
+    /// The fate of the speculative *backup copy* launched for a straggling
+    /// attempt. Drawn from its own stream salt so backups never perturb the
+    /// primary schedule: switching speculation on replays the exact same
+    /// primary failures, stragglers, and evictions. A backup is exposed to
+    /// the same hazard rates as the task it duplicates — it can fail at
+    /// launch or straggle itself.
+    pub fn backup_fault(&self, site: u64, part: u64, attempt: u32) -> TaskFault {
+        self.draw_fault(STREAM_BACKUP, site, part, attempt)
+    }
+
+    fn draw_fault(&self, stream: u64, site: u64, part: u64, attempt: u32) -> TaskFault {
         if self.task_fail_p <= 0.0 && self.straggler_p <= 0.0 {
             return TaskFault::None;
         }
-        let mut rng = self.decision_rng(STREAM_TASK, site, part, attempt as u64);
+        let mut rng = self.decision_rng(stream, site, part, attempt as u64);
         if self.task_fail_p > 0.0 && rng.gen_bool(self.task_fail_p) {
             return TaskFault::Fail;
         }
@@ -191,6 +241,7 @@ impl FaultConfig {
 /// identifiers draw from unrelated parts of the seed space.
 const STREAM_TASK: u64 = 0x7461_736b; // "task"
 const STREAM_EVICT: u64 = 0x6576_6963; // "evic"
+const STREAM_BACKUP: u64 = 0x6261_636b; // "back"
 
 /// 64-bit avalanche mixer (MurmurHash3 finalizer).
 fn fmix64(mut h: u64) -> u64 {
@@ -200,6 +251,53 @@ fn fmix64(mut h: u64) -> u64 {
     h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
     h ^= h >> 33;
     h
+}
+
+/// Opt-in simulated checkpointing policy ([`crate::Engine::with_checkpoints`]),
+/// the lineage/checkpoint tradeoff of RDDs (Zaharia et al., NSDI 2012).
+/// Selected cache writes are additionally persisted to simulated durable
+/// storage at a charged write cost (`bytes_written_storage`); a later cache
+/// eviction of a persisted result restores it with a storage read instead of
+/// re-deriving its whole `Plan` lineage, so deep iterative recovery becomes
+/// O(delta to the nearest checkpoint) instead of O(lineage depth) —
+/// observable via `ExecStats::recomputed_plan_nodes`. Without a config the
+/// engine never persists or restores anything and every counter stays
+/// bit-identical to an engine without the feature.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheckpointConfig {
+    /// Persist every `interval`-th eligible cache write, counted in driver
+    /// order (1 = persist every eligible write). Larger intervals trade
+    /// cheaper steady-state writes for deeper recovery deltas.
+    pub interval: u64,
+    /// Minimum lineage size (logical operators, `Plan::lineage_size`) below
+    /// which a cache site is not worth persisting: a bare source scan's
+    /// recovery path *is* re-reading the source.
+    pub min_lineage: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            interval: 1,
+            min_lineage: 2,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// Persist every `interval`-th eligible cache write (clamped to ≥ 1).
+    pub fn every(interval: u64) -> Self {
+        CheckpointConfig {
+            interval: interval.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the minimum lineage size of a persistable cache site.
+    pub fn with_min_lineage(mut self, n: usize) -> Self {
+        self.min_lineage = n;
+        self
+    }
 }
 
 /// The injected fate of one partition-task attempt.
@@ -312,6 +410,45 @@ mod tests {
             assert_eq!(cfg.task_fault(site, 0, 0), TaskFault::None);
             assert!(!cfg.cache_evicted(site));
         }
+    }
+
+    #[test]
+    fn backup_schedule_is_pure_and_independent_of_the_primary() {
+        let cfg = FaultConfig::chaos_speculative(42);
+        assert!(cfg.speculation);
+        let mut diverged = false;
+        for site in 0..200u64 {
+            for part in 0..4u64 {
+                assert_eq!(
+                    cfg.backup_fault(site, part, 0),
+                    cfg.backup_fault(site, part, 0)
+                );
+                if cfg.backup_fault(site, part, 0) != cfg.task_fault(site, part, 0) {
+                    diverged = true;
+                }
+            }
+        }
+        // Same identifiers, different stream salt: the backup copy's fate is
+        // not a replay of the primary's.
+        assert!(diverged);
+    }
+
+    #[test]
+    fn speculation_is_off_in_both_presets() {
+        assert!(!FaultConfig::disabled().speculation);
+        assert!(!FaultConfig::chaos(7).speculation);
+        assert!(FaultConfig::disabled().with_speculation(true).speculation);
+    }
+
+    #[test]
+    fn checkpoint_config_clamps_interval() {
+        assert_eq!(CheckpointConfig::every(0).interval, 1);
+        assert_eq!(CheckpointConfig::every(5).interval, 5);
+        assert_eq!(CheckpointConfig::default().min_lineage, 2);
+        assert_eq!(
+            CheckpointConfig::default().with_min_lineage(7).min_lineage,
+            7
+        );
     }
 
     #[test]

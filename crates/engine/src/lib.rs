@@ -37,6 +37,6 @@ pub mod pool;
 pub use cluster::{ClusterSpec, Personality};
 pub use dataset::{Partitioned, Partitioning};
 pub use exec::{Engine, EngineRun};
-pub use fault::{FaultConfig, TaskFault};
+pub use fault::{CheckpointConfig, FaultConfig, TaskFault};
 pub use metrics::{ExecError, ExecStats};
 pub use pool::{ParallelismMode, WorkerPool};

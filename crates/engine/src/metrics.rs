@@ -58,6 +58,22 @@ pub struct ExecStats {
     pub tasks_retried: u64,
     /// Task attempts that completed late as injected stragglers.
     pub straggler_delays: u64,
+    /// Straggling tasks for which a speculative backup copy was launched
+    /// (requires `FaultConfig::speculation`).
+    pub tasks_speculated: u64,
+    /// Speculative backups that finished before their straggling primary,
+    /// shortening the wave.
+    pub speculation_wins: u64,
+    /// Simulated seconds of duplicate work burned by speculation: until the
+    /// winning copy finishes, both copies occupy executor slots. Charged to
+    /// the simulated clock spread over the cluster DOP.
+    pub speculation_wasted_secs: f64,
+    /// Eligible cache writes additionally persisted to simulated durable
+    /// storage under a `CheckpointConfig`.
+    pub checkpoints_written: u64,
+    /// Cache evictions recovered by re-reading a checkpoint from storage
+    /// instead of re-deriving plan lineage.
+    pub checkpoint_restores: u64,
     /// Cached thunk results found evicted on read, forcing lineage
     /// recomputation.
     pub cache_evictions: u64,
@@ -125,6 +141,11 @@ impl PartialEq for ExecStats {
             && self.tasks_failed == other.tasks_failed
             && self.tasks_retried == other.tasks_retried
             && self.straggler_delays == other.straggler_delays
+            && self.tasks_speculated == other.tasks_speculated
+            && self.speculation_wins == other.speculation_wins
+            && self.speculation_wasted_secs == other.speculation_wasted_secs
+            && self.checkpoints_written == other.checkpoints_written
+            && self.checkpoint_restores == other.checkpoint_restores
             && self.cache_evictions == other.cache_evictions
             && self.recomputed_partitions == other.recomputed_partitions
             && self.recomputed_plan_nodes == other.recomputed_plan_nodes
@@ -160,6 +181,20 @@ impl fmt::Display for ExecStats {
         }
         if self.straggler_delays > 0 {
             write!(f, "  stragglers={}", self.straggler_delays)?;
+        }
+        if self.tasks_speculated > 0 {
+            write!(
+                f,
+                "  speculated={}  spec_wins={}  spec_wasted={:.2}s",
+                self.tasks_speculated, self.speculation_wins, self.speculation_wasted_secs
+            )?;
+        }
+        if self.checkpoints_written > 0 || self.checkpoint_restores > 0 {
+            write!(
+                f,
+                "  ckpt={}w/{}r",
+                self.checkpoints_written, self.checkpoint_restores
+            )?;
         }
         if self.cache_evictions > 0 {
             write!(
@@ -321,6 +356,40 @@ mod tests {
         );
         assert!(noisy.contains("stragglers=2"), "{noisy}");
         assert!(noisy.contains("evicted=1  recomputed=8p/4n"), "{noisy}");
+    }
+
+    #[test]
+    fn display_appends_speculation_and_checkpoint_counters_only_when_used() {
+        let mut s = ExecStats::default();
+        let clean = s.to_string();
+        assert!(!clean.contains("speculated="), "{clean}");
+        assert!(!clean.contains("ckpt="), "{clean}");
+        s.tasks_speculated = 4;
+        s.speculation_wins = 3;
+        s.speculation_wasted_secs = 0.75;
+        s.checkpoints_written = 6;
+        s.checkpoint_restores = 2;
+        let noisy = s.to_string();
+        assert!(
+            noisy.contains("speculated=4  spec_wins=3  spec_wasted=0.75s"),
+            "{noisy}"
+        );
+        assert!(noisy.contains("ckpt=6w/2r"), "{noisy}");
+    }
+
+    #[test]
+    fn eq_compares_speculation_and_checkpoint_counters() {
+        let a = ExecStats::default();
+        let b = ExecStats {
+            speculation_wins: 1,
+            ..Default::default()
+        };
+        assert_ne!(a, b);
+        let c = ExecStats {
+            checkpoint_restores: 1,
+            ..Default::default()
+        };
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -367,7 +367,11 @@ impl Parallelism {
     /// operators stay serial in per-operator mode (the seed never
     /// parallelized them), narrow ones fan out in both modes. Below the row
     /// gate everything runs serially. The policy only moves work between
-    /// threads — the settled outcomes are identical either way.
+    /// threads — the settled outcomes are identical either way. That
+    /// property is what lets the fault-tolerant executor vary `total_rows`
+    /// per retry wave (gating on the surviving partitions' share of the
+    /// batch) and race speculative task clones settled on the driver,
+    /// without perturbing any deterministic counter.
     pub fn run_settled<T, F>(&self, wide: bool, n: usize, total_rows: u64, f: F) -> Vec<Settled<T>>
     where
         T: Send,

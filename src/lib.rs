@@ -82,6 +82,7 @@ pub mod prelude {
     pub use emma_compiler::value::{Value, ValueError};
     pub use emma_core::{DataBag, Grp, Keyed, StatefulBag};
     pub use emma_engine::{
-        ClusterSpec, Engine, EngineRun, ExecError, ExecStats, FaultConfig, Personality,
+        CheckpointConfig, ClusterSpec, Engine, EngineRun, ExecError, ExecStats, FaultConfig,
+        Personality,
     };
 }

@@ -1,4 +1,4 @@
-//! Wall-clock and simulated-time cost of speculative execution. Three
+//! Wall-clock and simulated-time cost of speculative execution. Four
 //! configurations of the same map→filter→aggregate workload on the
 //! persistent worker pool:
 //!
@@ -6,7 +6,10 @@
 //! * `stragglers` — straggler-heavy chaos ([`FaultConfig::chaos`] with
 //!   `straggler_p = 0.3`, 4-second injected delays), speculation off;
 //! * `speculation` — the same schedule with backup tasks cloned for every
-//!   straggler ([`FaultConfig::with_speculation`]).
+//!   straggler ([`FaultConfig::with_speculation`]);
+//! * `speculation_quantile` — same, but only stragglers slower than the
+//!   wave's 75th-percentile delay are cloned
+//!   (`SpeculationPolicy::Quantile(0.75)`).
 //!
 //! The wall-clock rows show what the speculation bookkeeping costs in real
 //! time (the backup race is settled on the driver from the deterministic
@@ -19,7 +22,7 @@
 
 use criterion::{criterion_group, take_measurements, Criterion, Measurement};
 use emma::prelude::*;
-use emma_engine::ParallelismMode;
+use emma_engine::{ParallelismMode, SpeculationPolicy};
 
 /// Large enough that per-partition task work dominates and the pool is
 /// engaged (above the parallelism gate) on every operator.
@@ -83,13 +86,24 @@ fn straggler_heavy() -> FaultConfig {
         .with_straggler_secs(4.0)
 }
 
-fn configs() -> [(&'static str, Option<FaultConfig>); 3] {
+fn configs() -> [(&'static str, Option<FaultConfig>); 4] {
     [
         ("no_faults", None),
         ("stragglers", Some(straggler_heavy())),
         (
             "speculation",
             Some(straggler_heavy().with_speculation(true)),
+        ),
+        // Quantile policy: only stragglers slower than the wave's 75th
+        // percentile get a backup clone — less duplicate work, most of the
+        // straggler savings.
+        (
+            "speculation_quantile",
+            Some(
+                straggler_heavy()
+                    .with_speculation(true)
+                    .with_speculation_policy(SpeculationPolicy::Quantile(0.75)),
+            ),
         ),
     ]
 }
@@ -148,6 +162,13 @@ fn main() {
     let on = engine_for(Some(straggler_heavy().with_speculation(true)))
         .run(&prog, &catalog)
         .expect("speculation run");
+    let quantile = engine_for(Some(
+        straggler_heavy()
+            .with_speculation(true)
+            .with_speculation_policy(SpeculationPolicy::Quantile(0.75)),
+    ))
+    .run(&prog, &catalog)
+    .expect("quantile run");
 
     let ms = take_measurements();
     let threads = std::thread::available_parallelism()
@@ -171,14 +192,19 @@ fn main() {
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"speculation\",\n  \"rows\": {ROWS},\n  \"threads\": {threads},\n  \"wall_overhead_speculation_vs_stragglers\": {wall_overhead:.3},\n  \"sim_secs_stragglers\": {:.6},\n  \"sim_secs_speculation\": {:.6},\n  \"retry_sim_secs_stragglers\": {:.6},\n  \"retry_sim_secs_speculation\": {:.6},\n  \"tasks_speculated\": {},\n  \"speculation_wins\": {},\n  \"speculation_wasted_secs\": {:.6},\n  \"results\": [\n{results}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"speculation\",\n  \"rows\": {ROWS},\n  \"threads\": {threads},\n  \"wall_overhead_speculation_vs_stragglers\": {wall_overhead:.3},\n  \"sim_secs_stragglers\": {:.6},\n  \"sim_secs_speculation\": {:.6},\n  \"sim_secs_speculation_quantile\": {:.6},\n  \"retry_sim_secs_stragglers\": {:.6},\n  \"retry_sim_secs_speculation\": {:.6},\n  \"retry_sim_secs_speculation_quantile\": {:.6},\n  \"tasks_speculated\": {},\n  \"tasks_speculated_quantile\": {},\n  \"speculation_wins\": {},\n  \"speculation_wins_quantile\": {},\n  \"speculation_wasted_secs\": {:.6},\n  \"speculation_wasted_secs_quantile\": {:.6},\n  \"results\": [\n{results}\n  ]\n}}\n",
         off.stats.simulated_secs,
         on.stats.simulated_secs,
+        quantile.stats.simulated_secs,
         off.stats.retry_sim_secs,
         on.stats.retry_sim_secs,
+        quantile.stats.retry_sim_secs,
         on.stats.tasks_speculated,
+        quantile.stats.tasks_speculated,
         on.stats.speculation_wins,
+        quantile.stats.speculation_wins,
         on.stats.speculation_wasted_secs,
+        quantile.stats.speculation_wasted_secs,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_speculation.json");
     std::fs::write(path, &json).expect("write BENCH_speculation.json");
@@ -190,5 +216,12 @@ fn main() {
         on.stats.speculation_wins,
         on.stats.tasks_speculated,
         on.stats.speculation_wasted_secs,
+    );
+    println!(
+        "quantile(0.75) policy: {:.1}s with {} clones ({:.1}s duplicate work) vs clone-everything's {} clones",
+        quantile.stats.simulated_secs,
+        quantile.stats.tasks_speculated,
+        quantile.stats.speculation_wasted_secs,
+        on.stats.tasks_speculated,
     );
 }

@@ -24,6 +24,7 @@ fn main() {
                     emma_datagen::KeyDistribution::Uniform => "a",
                     emma_datagen::KeyDistribution::Gaussian => "b",
                     emma_datagen::KeyDistribution::Pareto => "c",
+                    emma_datagen::KeyDistribution::Zipf(_) => "d",
                 },
                 dist.name()
             ),

@@ -469,6 +469,44 @@ impl Plan {
     pub fn checkpoint_eligible(&self, min_lineage: usize) -> bool {
         self.lineage_size() >= min_lineage
     }
+
+    /// How this operator's *input shuffle* may be split when the skew-aware
+    /// shuffle layer detects a hot partition. Classifies the merge story the
+    /// engine has for each wide operator; narrow operators and operators
+    /// whose layout is part of their contract are [`SkewEligibility::Ineligible`].
+    pub fn skew_eligibility(&self) -> SkewEligibility {
+        match self {
+            // groupBy re-merges sub-partition groups in a two-phase pass, and
+            // the repartition join replicates its (small) build partition
+            // across the probe's sub-partitions: both tolerate one key
+            // landing in several sub-partitions, so the stronger
+            // contiguous-chunk balancing applies.
+            Plan::GroupBy { .. } | Plan::Join { .. } => SkewEligibility::Balanced,
+            // aggBy merges partials per key and Distinct dedups per
+            // partition: both need every copy of a key in one sub-partition,
+            // so only a key-preserving secondary hash is safe.
+            Plan::AggBy { .. } | Plan::Distinct { .. } => SkewEligibility::KeyPreserving,
+            // Minus aligns both sides partition-by-partition and Repartition
+            // *is* a layout contract; everything else is narrow or
+            // driver-side and never shuffles.
+            _ => SkewEligibility::Ineligible,
+        }
+    }
+}
+
+/// How a wide operator can consume a skew-split shuffle layout
+/// (see [`Plan::skew_eligibility`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SkewEligibility {
+    /// Hot partitions may be split into contiguous row chunks — best
+    /// balancing, requires the operator to merge per-key state across
+    /// sub-partitions (or tolerate duplicates of a key).
+    Balanced,
+    /// Hot partitions may be split only by a secondary hash of the key, so
+    /// each key stays whole in one sub-partition.
+    KeyPreserving,
+    /// The operator's input shuffle must not be split.
+    Ineligible,
 }
 
 pub(crate) fn collect_scalar_bag_refs(e: &ScalarExpr, out: &mut Vec<String>) {
@@ -633,6 +671,47 @@ mod tests {
         assert!(dot.contains("Source"), "{dot}");
         assert!(dot.contains("Filter"), "{dot}");
         assert!(dot.contains("->"), "{dot}");
+    }
+
+    #[test]
+    fn skew_eligibility_classifies_per_operator() {
+        let src = || Box::new(Plan::Source { name: "xs".into() });
+        let key = || Lambda::new(["t"], ScalarExpr::var("t").get(0));
+        let group = Plan::GroupBy {
+            input: src(),
+            key: key(),
+        };
+        assert_eq!(group.skew_eligibility(), SkewEligibility::Balanced);
+        let join = Plan::Join {
+            left: src(),
+            right: src(),
+            lkey: key(),
+            rkey: key(),
+            residual: None,
+            kind: JoinKind::Inner,
+            strategy: JoinStrategy::Auto,
+        };
+        assert_eq!(join.skew_eligibility(), SkewEligibility::Balanced);
+        let agg = Plan::AggBy {
+            input: src(),
+            key: key(),
+            fold: FoldOp::min(),
+        };
+        assert_eq!(agg.skew_eligibility(), SkewEligibility::KeyPreserving);
+        let distinct = Plan::Distinct { input: src() };
+        assert_eq!(distinct.skew_eligibility(), SkewEligibility::KeyPreserving);
+        // Layout-contract and alignment operators never split.
+        let repart = Plan::Repartition {
+            input: src(),
+            key: key(),
+        };
+        assert_eq!(repart.skew_eligibility(), SkewEligibility::Ineligible);
+        let minus = Plan::Minus {
+            left: src(),
+            right: src(),
+        };
+        assert_eq!(minus.skew_eligibility(), SkewEligibility::Ineligible);
+        assert_eq!((*src()).skew_eligibility(), SkewEligibility::Ineligible);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod field {
 }
 
 /// The key distribution of a synthetic dataset.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum KeyDistribution {
     /// Uniform over the key domain.
     Uniform,
@@ -28,6 +28,10 @@ pub enum KeyDistribution {
     /// Pareto-like: ~35 % of all tuples land on one hot key
     /// (the paper's Appendix B setting).
     Pareto,
+    /// Zipf with exponent `s`: key rank `k` drawn with probability
+    /// ∝ 1/(k+1)^s. Heavier-than-Pareto head at s ≳ 1 — the classic
+    /// stress input for skew-aware shuffling.
+    Zipf(f64),
 }
 
 impl KeyDistribution {
@@ -37,15 +41,18 @@ impl KeyDistribution {
             KeyDistribution::Uniform => "uniform",
             KeyDistribution::Gaussian => "gaussian",
             KeyDistribution::Pareto => "pareto",
+            KeyDistribution::Zipf(_) => "zipf",
         }
     }
 
-    /// All three distributions, in the paper's figure order.
-    pub fn all() -> [KeyDistribution; 3] {
+    /// All distributions, in the paper's figure order, with the Zipf
+    /// exponent the skew benchmarks use as their middle setting.
+    pub fn all() -> [KeyDistribution; 4] {
         [
             KeyDistribution::Uniform,
             KeyDistribution::Gaussian,
             KeyDistribution::Pareto,
+            KeyDistribution::Zipf(1.2),
         ]
     }
 }
@@ -55,6 +62,23 @@ impl KeyDistribution {
 pub fn keyed_tuples(n: usize, num_keys: i64, dist: KeyDistribution, seed: u64) -> Vec<Value> {
     let mut rng = StdRng::seed_from_u64(seed);
     let num_keys = num_keys.max(1);
+    // Zipf CDF over key ranks, precomputed once; per-row sampling is a
+    // single uniform draw + binary search, so every distribution consumes
+    // the same RNG stream shape it always did.
+    let zipf_cdf: Vec<f64> = match dist {
+        KeyDistribution::Zipf(s) => {
+            let mut acc = 0.0;
+            let mut cdf = Vec::with_capacity(num_keys as usize);
+            for k in 0..num_keys {
+                acc += 1.0 / ((k + 1) as f64).powf(s);
+                cdf.push(acc);
+            }
+            let total = acc;
+            cdf.iter_mut().for_each(|c| *c /= total);
+            cdf
+        }
+        _ => Vec::new(),
+    };
     (0..n)
         .map(|_| {
             let key = match dist {
@@ -71,6 +95,11 @@ pub fn keyed_tuples(n: usize, num_keys: i64, dist: KeyDistribution, seed: u64) -
                     } else {
                         rng.gen_range(0..num_keys)
                     }
+                }
+                KeyDistribution::Zipf(_) => {
+                    let u: f64 = rng.gen();
+                    // min guards the u ≈ 1.0 rounding edge of the CDF.
+                    (zipf_cdf.partition_point(|&c| c < u) as i64).min(num_keys - 1)
                 }
             };
             let value: i64 = rng.gen_range(-1_000_000..1_000_000);
@@ -134,6 +163,24 @@ mod tests {
             .count() as f64
             / rows.len() as f64;
         assert!(mid > edge * 3.0, "mid {mid} vs edge {edge}");
+    }
+
+    #[test]
+    fn zipf_head_dominates_and_rank_frequencies_decay() {
+        let rows = keyed_tuples(20_000, 100, KeyDistribution::Zipf(1.2), 5);
+        let count = |k: i64| rows.iter().filter(|v| key_of(v) == k).count() as f64;
+        let n = rows.len() as f64;
+        // Rank-0 share under s=1.2, 100 keys is ~0.26 analytically.
+        let head = count(0) / n;
+        assert!((0.20..0.33).contains(&head), "head fraction {head}");
+        // Frequencies decay with rank.
+        assert!(count(0) > count(1));
+        assert!(count(1) > count(10));
+        assert!(count(10) > count(90));
+        // A steeper exponent concentrates the head further.
+        let steep = keyed_tuples(20_000, 100, KeyDistribution::Zipf(2.0), 5);
+        let steep_head = steep.iter().filter(|v| key_of(v) == 0).count() as f64 / n;
+        assert!(steep_head > head, "steep {steep_head} vs {head}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ proptest! {
     fn keyed_tuples_shape_and_determinism(
         n in 1usize..2_000,
         num_keys in 1i64..500,
-        dist_idx in 0usize..3,
+        dist_idx in 0usize..4,
         seed in any::<u64>(),
     ) {
         let dist = KeyDistribution::all()[dist_idx];

@@ -22,17 +22,18 @@ use emma_compiler::compiled::{self, CompiledBag, CompiledEval, Machine};
 use emma_compiler::expr::{FoldOp, Lambda, ScalarExpr};
 use emma_compiler::interp::{self, Catalog, Env};
 use emma_compiler::pipeline::{AuxDef, CRValue, CStmt, CompiledProgram};
-use emma_compiler::plan::{JoinKind, JoinStrategy, Plan};
+use emma_compiler::plan::{JoinKind, JoinStrategy, Plan, SkewEligibility};
 use emma_compiler::value::{Value, ValueError};
 
 use emma_compiler::plan::PipelineStage;
 
 use crate::cluster::{ClusterSpec, Personality};
 use crate::dataset::{value_hash, Partitioned, Partitioning};
-use crate::fault::{self, CheckpointConfig, FaultConfig, TaskError, TaskFault};
+use crate::fault::{self, CheckpointConfig, FaultConfig, SpeculationPolicy, TaskError, TaskFault};
 use crate::metrics::{ExecError, ExecStats};
 use crate::ordmap::InsertionMap;
 use crate::pool::{Parallelism, ParallelismMode};
+use crate::skew::{self, SkewConfig, SplitKind, SplitPlan};
 
 /// A lazily forced, optionally memoized dataflow binding — the paper's
 /// `Thunk[A]` (Fig. 3b, "Driver to Dataflows").
@@ -67,6 +68,10 @@ struct EngineState {
     key: Lambda,
     /// Per-partition keyed entries plus first-insertion order.
     parts: Vec<(Vec<Value>, HashMap<Value, Value>)>,
+    /// The skew split the creating shuffle applied, if any. Message routing
+    /// must replay the same two-level hash (`bucket`, then key-preserving
+    /// sub-hash) to find an entry's slot.
+    split: Option<SplitPlan>,
 }
 
 impl EngineState {
@@ -81,10 +86,36 @@ impl EngineState {
         let n = parts.len();
         Partitioned {
             parts,
-            partitioning: Some(Partitioning {
-                key: key.clone(),
-                parts: n,
-            }),
+            // A split layout is two-level-hashed, not `hash % n`: it must
+            // never satisfy a plain partitioning request.
+            partitioning: if self.split.is_some() {
+                None
+            } else {
+                Some(Partitioning {
+                    key: key.clone(),
+                    parts: n,
+                })
+            },
+        }
+    }
+
+    /// The state slot for a message routed to shuffle bucket `pi` whose key
+    /// hashed to `h` — the same two-level placement the creating shuffle
+    /// used, so updates always find their entry locally.
+    fn slot_for(&self, pi: usize, h: u64) -> usize {
+        let nparts = self.parts.len().max(1);
+        match &self.split {
+            None => pi % nparts,
+            Some(sp) => {
+                let b = pi % sp.ways.len();
+                let w = sp.ways[b];
+                let sub = if w > 1 {
+                    (skew::sub_hash(h) % w as u64) as usize
+                } else {
+                    0
+                };
+                sp.offsets[b] + sub
+            }
         }
     }
 }
@@ -127,6 +158,10 @@ pub struct Engine {
     /// default) persists nothing and leaves every counter bit-identical to
     /// an engine without the feature.
     pub checkpoints: Option<CheckpointConfig>,
+    /// Opt-in skew-aware shuffle splitting; `None` (the default) never
+    /// consults partition sizes and leaves every counter bit-identical to an
+    /// engine without the feature.
+    pub skew: Option<SkewConfig>,
 }
 
 /// Default for [`Engine::parallelism_threshold`]: below this many rows the
@@ -146,6 +181,7 @@ impl Engine {
             parallelism_threshold: DEFAULT_PARALLELISM_THRESHOLD,
             faults: None,
             checkpoints: None,
+            skew: None,
         }
     }
 
@@ -203,6 +239,22 @@ impl Engine {
     /// instead of O(lineage depth).
     pub fn with_checkpoints(mut self, cfg: CheckpointConfig) -> Self {
         self.checkpoints = Some(cfg);
+        self
+    }
+
+    /// Enables skew-aware shuffle splitting: shuffle write paths of
+    /// skew-eligible wide operators ([`Plan::skew_eligibility`]) detect hot
+    /// partitions (rows > `skew_factor ×` mean) and split them into
+    /// sub-partitions by a secondary hash, so downstream wide operators see
+    /// a balanced layout. Split decisions are pure functions of the observed
+    /// partition sizes and the config, so schedules replay bit-identically
+    /// across thread counts and dispatch modes; the secondary shuffles and
+    /// build-side replication a split requires are charged to the simulated
+    /// clock. Off by default — without a config, no partition sizes are
+    /// inspected and every counter stays bit-identical to an engine without
+    /// the feature.
+    pub fn with_skew_splitting(mut self, cfg: SkewConfig) -> Self {
+        self.skew = Some(cfg);
         self
     }
 
@@ -648,13 +700,29 @@ impl<'a> Session<'a> {
             // finishes first.
             let mut worst_effective = 0.0f64;
             let mut wasted = 0.0f64;
+            // Which stragglers get a backup copy. The quantile policy gates
+            // on the wave's injected delay profile — precomputed fates, so
+            // the gate is as pure as the schedule itself.
+            let clone_all = matches!(cfg.speculation_policy, SpeculationPolicy::All);
+            let spec_threshold = if cfg.speculation && !clone_all {
+                let delays: Vec<f64> = fates
+                    .iter()
+                    .map(|f| match f {
+                        TaskFault::Straggle(d) => *d,
+                        _ => 0.0,
+                    })
+                    .collect();
+                cfg.speculation_policy.clone_threshold(&delays)
+            } else {
+                0.0
+            };
             for (wi, fate) in fates.iter().enumerate() {
                 let TaskFault::Straggle(delay) = *fate else {
                     continue;
                 };
                 self.stats.straggler_delays += 1;
                 let mut effective = delay;
-                if cfg.speculation {
+                if cfg.speculation && (clone_all || delay > spec_threshold) {
                     self.stats.tasks_speculated += 1;
                     let backup_finish = match cfg.backup_fault(site, pending[wi] as u64, attempt) {
                         // A backup that dies at launch can never win.
@@ -886,7 +954,15 @@ impl<'a> Session<'a> {
             CStmt::StatefulCreate { name, plan, key } => {
                 let env = self.snapshot();
                 let d = self.exec_bag(plan, &env)?;
-                let (shuffled, carried) = self.shuffle_keyed(d, key, &env)?;
+                // Stateful bags split key-preservingly: every copy of a key
+                // lands in the same sub-partition, so per-slot lookups stay
+                // local and updates route through the same two-level hash.
+                let kind = self
+                    .engine
+                    .skew
+                    .is_some()
+                    .then_some(SplitKind::KeyPreserving);
+                let (shuffled, carried, split) = self.shuffle_keyed_split(d, key, &env, kind)?;
                 let base = self.eval_base_for_lambdas(&[key], &env)?;
                 let key_prep = self.prepare_lambda(key, &base);
                 let mut cx = key_prep.ctx(&base);
@@ -913,6 +989,7 @@ impl<'a> Session<'a> {
                     Binding::Stateful(Arc::new(Mutex::new(EngineState {
                         key: key.clone(),
                         parts,
+                        split,
                     }))),
                 );
                 self.check_budget()
@@ -948,20 +1025,28 @@ impl<'a> Session<'a> {
                 let mut delta_parts: Vec<Vec<Value>> = vec![Vec::new(); nparts];
                 let mut processed = 0u64;
                 for (pi, part) in routed.parts.iter().enumerate() {
-                    let slot = pi % nparts;
                     let mut changed_keys: Vec<Value> = Vec::new();
-                    let mut changed: HashMap<Value, Value> = HashMap::new();
+                    let mut changed: HashMap<Value, (usize, Value)> = HashMap::new();
                     for (mi, msg) in part.iter().enumerate() {
                         processed += 1;
-                        // The routing shuffle already evaluated the key.
-                        let k = match &carried {
-                            Some(keys) => keys[pi][mi].1.clone(),
-                            None => mk_prep
-                                .call(std::slice::from_ref(msg), &mut mcx, self.catalog)
-                                .map_err(ExecError::Eval)?,
+                        // The routing shuffle already evaluated the key (and
+                        // its hash, which the split routing reuses).
+                        let (h, k) = match &carried {
+                            Some(keys) => {
+                                let (h, k) = &keys[pi][mi];
+                                (*h, k.clone())
+                            }
+                            None => {
+                                let k = mk_prep
+                                    .call(std::slice::from_ref(msg), &mut mcx, self.catalog)
+                                    .map_err(ExecError::Eval)?;
+                                (value_hash(&k), k)
+                            }
                         };
                         // State was hash-partitioned by key with the same
-                        // partition count, so the entry (if any) is local.
+                        // partition count (plus the secondary split hash when
+                        // the creating shuffle split), so the entry is local.
+                        let slot = st.slot_for(pi, h);
                         let Some(current) = st.parts[slot].1.get(&k) else {
                             continue;
                         };
@@ -970,21 +1055,30 @@ impl<'a> Session<'a> {
                             .map_err(ExecError::Eval)?;
                         if !new.is_null() {
                             st.parts[slot].1.insert(k.clone(), new.clone());
-                            if changed.insert(k.clone(), new).is_none() {
+                            if changed.insert(k.clone(), (slot, new)).is_none() {
                                 changed_keys.push(k);
                             }
                         }
                     }
                     for k in changed_keys {
-                        delta_parts[slot].push(changed.remove(&k).expect("recorded key"));
+                        let (slot, v) = changed.remove(&k).expect("recorded key");
+                        delta_parts[slot].push(v);
                     }
                 }
                 let key = st.key.clone();
+                // A split state layout is no longer plain hash-partitioned,
+                // so the delta must not advertise a partitioning downstream
+                // shuffles could (wrongly) elide.
+                let delta_partitioning = if st.split.is_some() {
+                    None
+                } else {
+                    Some(Partitioning { key, parts: nparts })
+                };
                 drop(st);
                 self.charge_cpu(processed, processed / self.dop().max(1) as u64);
                 let delta_data = Partitioned {
                     parts: delta_parts.into_iter().map(Arc::new).collect(),
-                    partitioning: Some(Partitioning { key, parts: nparts }),
+                    partitioning: delta_partitioning,
                 };
                 // Bind the delta as an already-materialized bag. The plan is
                 // a placeholder, not lineage — never evict it.
@@ -1271,16 +1365,20 @@ impl<'a> Session<'a> {
                 residual,
                 kind,
                 strategy,
-            } => self.exec_join(
-                left,
-                right,
-                lkey,
-                rkey,
-                residual.as_ref(),
-                *kind,
-                *strategy,
-                env,
-            ),
+            } => {
+                let probe_split = self.split_kind(plan.skew_eligibility());
+                self.exec_join(
+                    left,
+                    right,
+                    lkey,
+                    rkey,
+                    residual.as_ref(),
+                    *kind,
+                    *strategy,
+                    probe_split,
+                    env,
+                )
+            }
             Plan::Cross { left, right } => {
                 let l = self.exec_bag(left, env)?;
                 let r = self.exec_bag(right, env)?;
@@ -1309,7 +1407,12 @@ impl<'a> Session<'a> {
             }
             Plan::GroupBy { input, key } => {
                 let d = self.exec_bag(input, env)?;
-                let (shuffled, carried) = self.shuffle_keyed(d, key, env)?;
+                let kind = self.split_kind(plan.skew_eligibility());
+                let (shuffled, carried, split) = self.shuffle_keyed_split(d, key, env, kind)?;
+                if let Some(sp) = split {
+                    let keys = carried.expect("a split implies the shuffle ran");
+                    return self.exec_group_by_split(shuffled, keys, &sp);
+                }
                 // Materialize groups per partition; charge memory pressure.
                 let base = self.eval_base_for_lambdas(&[key], env)?;
                 let key_prep = self.prepare_lambda(key, &base);
@@ -1354,7 +1457,8 @@ impl<'a> Session<'a> {
             }
             Plan::AggBy { input, key, fold } => {
                 let d = self.exec_bag(input, env)?;
-                self.exec_agg_by(d, key, fold, env)
+                let split = self.split_kind(plan.skew_eligibility());
+                self.exec_agg_by(d, key, fold, split, env)
             }
             Plan::Plus { left, right } => {
                 let l = self.exec_bag(left, env)?;
@@ -1402,7 +1506,10 @@ impl<'a> Session<'a> {
             Plan::Distinct { input } => {
                 let identity = Lambda::new(["x"], ScalarExpr::var("x"));
                 let d = self.exec_bag(input, env)?;
-                let s = self.shuffle(d, &identity, env)?;
+                // Key-preserving split keeps all copies of a row in one
+                // sub-partition, so per-partition dedup stays exact.
+                let kind = self.split_kind(plan.skew_eligibility());
+                let (s, _carried, _split) = self.shuffle_keyed_split(d, &identity, env, kind)?;
                 let mut parts = Vec::with_capacity(s.parts.len());
                 for part in &s.parts {
                     let mut seen = std::collections::HashSet::new();
@@ -1592,6 +1699,7 @@ impl<'a> Session<'a> {
         residual: Option<&Lambda>,
         kind: JoinKind,
         strategy: JoinStrategy,
+        probe_split: Option<SplitKind>,
         env: &EnvSnapshot,
     ) -> Result<PlanResult, ExecError> {
         let l = self.exec_bag(left, env)?;
@@ -1617,11 +1725,12 @@ impl<'a> Session<'a> {
         self.stats.stages += 1;
         self.stats.charge_secs(self.personality().stage_overhead);
 
-        let (lwork, rrows_by_part, lkeys, rkeys): (
+        let (lwork, rrows_by_part, lkeys, rkeys, lsplit): (
             Partitioned,
             Vec<Vec<Value>>,
             KeyCarriage,
             KeyCarriage,
+            Option<SplitPlan>,
         ) = match strategy {
             JoinStrategy::Broadcast => {
                 // Ship the entire right side to every node; left stays put.
@@ -1630,11 +1739,33 @@ impl<'a> Session<'a> {
                 self.charge_broadcast(r.total_bytes());
                 let rows = r.collect_rows();
                 let n = l.parts.len();
-                (l, vec![rows; n], None, None)
+                (l, vec![rows; n], None, None, None)
             }
             JoinStrategy::Repartition | JoinStrategy::Auto => {
-                let (ls, lk) = self.shuffle_keyed(l, lkey, env)?;
+                // Only the probe (left) side splits — the build side's
+                // partitions are replicated across their bucket's
+                // sub-partitions instead, which is the classic skew-join
+                // move when the build side is the small one.
+                let (ls, lk, lsp) = self.shuffle_keyed_split(l, lkey, env, probe_split)?;
                 let (rs, rk) = self.shuffle_keyed(r, rkey, env)?;
+                if let Some(sp) = &lsp {
+                    // Each extra probe sub-partition re-reads its bucket's
+                    // build partition from the shuffle output: charge the
+                    // replicated bytes like the network motion they are.
+                    let mut extra = 0u64;
+                    for (b, &w) in sp.ways.iter().enumerate() {
+                        if w > 1 {
+                            let bytes: u64 = rs.parts[b].iter().map(Value::approx_bytes).sum();
+                            extra += bytes * (w as u64 - 1);
+                        }
+                    }
+                    if extra > 0 {
+                        let spec = *self.spec();
+                        self.stats.bytes_shuffled += extra;
+                        self.stats
+                            .charge_secs(extra as f64 / (spec.net_bw * spec.nodes as f64));
+                    }
+                }
                 // The shuffle output is uniquely owned — move the right rows
                 // out instead of cloning them partition by partition.
                 let rparts: Vec<Vec<Value>> = rs
@@ -1642,7 +1773,7 @@ impl<'a> Session<'a> {
                     .into_iter()
                     .map(|p| Arc::try_unwrap(p).unwrap_or_else(|shared| shared.as_ref().clone()))
                     .collect();
-                (ls, rparts, lk, rk)
+                (ls, rparts, lk, rk, lsp)
             }
         };
 
@@ -1665,7 +1796,12 @@ impl<'a> Session<'a> {
             let mut lcx = lk_prep.ctx(&base);
             let mut rescx = res_prep.as_ref().map(|p| p.ctx(&base));
             let lpart = &lwork.parts[pi];
-            let ri = pi.min(rrows_by_part.len() - 1);
+            // Under a probe split, every sub-partition of a hot bucket reads
+            // that bucket's (replicated) build partition.
+            let ri = match &lsplit {
+                Some(sp) => sp.parent(pi),
+                None => pi.min(rrows_by_part.len() - 1),
+            };
             let rrows = &rrows_by_part[ri];
             let computed: Vec<(u64, Value)>;
             let rkv: &[(u64, Value)] = match &rkeys {
@@ -1745,20 +1881,141 @@ impl<'a> Session<'a> {
             lwork.total_rows() + produced,
             lwork.max_part_rows() + produced / self.dop().max(1) as u64,
         );
-        // Semi/anti joins preserve the left layout under repartition.
-        let partitioning = match (kind, strategy) {
-            (JoinKind::LeftSemi | JoinKind::LeftAnti, JoinStrategy::Repartition) => {
-                Some(Partitioning {
-                    key: lkey.clone(),
-                    parts: parts.len(),
-                })
+        // Semi/anti joins preserve the left layout under repartition — but a
+        // split probe layout is two-level-hashed, so advertise nothing.
+        let partitioning = if lsplit.is_some() {
+            None
+        } else {
+            match (kind, strategy) {
+                (JoinKind::LeftSemi | JoinKind::LeftAnti, JoinStrategy::Repartition) => {
+                    Some(Partitioning {
+                        key: lkey.clone(),
+                        parts: parts.len(),
+                    })
+                }
+                (JoinKind::LeftSemi | JoinKind::LeftAnti, _) => lwork.partitioning.clone(),
+                _ => None,
             }
-            (JoinKind::LeftSemi | JoinKind::LeftAnti, _) => lwork.partitioning.clone(),
-            _ => None,
         };
         Ok(PlanResult::Bag(Partitioned {
             parts,
             partitioning,
+        }))
+    }
+
+    /// The split-path `groupBy`: phase 1 groups each sub-partition locally in
+    /// parallel (one retryable task per sub-partition — retry granularity
+    /// follows the split), phase 2 merges each hot bucket's partial groups in
+    /// slot order — a key-preserving secondary shuffle restricted to the hot
+    /// buckets, charged like the physical data motion it is. Because
+    /// [`SplitKind::Balanced`] sub-partitions are contiguous chunks,
+    /// the merged output reproduces the unsplit path's rows, order, and
+    /// partition layout exactly; only the cost profile changes — the group
+    /// materialization pressure is paid on the balanced sub-partition layout,
+    /// which is the point of splitting (a hot reducer's superlinear spill
+    /// penalty becomes several in-memory sub-reducers).
+    fn exec_group_by_split(
+        &mut self,
+        shuffled: Partitioned,
+        keys: Vec<Vec<(u64, Value)>>,
+        plan: &SplitPlan,
+    ) -> Result<PlanResult, ExecError> {
+        // Phase 1: local grouping per sub-partition, first-occurrence order.
+        // Keys rode along with the shuffle, so no UDF re-evaluation.
+        type PartialGroups = Vec<(Value, Vec<Value>)>;
+        let mut grouped: Vec<PartialGroups> =
+            self.run_tasks(true, shuffled.parts.len(), shuffled.total_rows(), |pi| {
+                let mut order: Vec<Value> = Vec::new();
+                let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
+                for (ri, row) in shuffled.parts[pi].iter().enumerate() {
+                    let k = &keys[pi][ri].1;
+                    let e = groups.entry(k.clone()).or_default();
+                    if e.is_empty() {
+                        order.push(k.clone());
+                    }
+                    e.push(row.clone());
+                }
+                Ok(order
+                    .into_iter()
+                    .map(|k| {
+                        let vs = groups.remove(&k).unwrap_or_default();
+                        (k, vs)
+                    })
+                    .collect::<PartialGroups>())
+            })?;
+        self.charge_group_materialization(&shuffled);
+        self.charge_cpu(shuffled.total_rows(), shuffled.max_part_rows());
+        // Phase 2: sub-partitions 1.. of each split bucket physically move
+        // to the bucket's merging reducer — the key-preserving secondary
+        // shuffle, restricted to the hot buckets. Charged like any shuffle:
+        // stage overhead + max(balance, worst receiver).
+        let mut moved_bytes = 0u64;
+        let mut max_receiver = 0u64;
+        let mut moved_rows = 0u64;
+        let mut max_bucket_moved = 0u64;
+        for (b, &w) in plan.ways.iter().enumerate() {
+            if w <= 1 {
+                continue;
+            }
+            let off = plan.offsets[b];
+            let bytes: u64 = (1..w)
+                .map(|j| {
+                    shuffled.parts[off + j]
+                        .iter()
+                        .map(Value::approx_bytes)
+                        .sum::<u64>()
+                })
+                .sum();
+            let rows: u64 = (1..w).map(|j| shuffled.parts[off + j].len() as u64).sum();
+            moved_bytes += bytes;
+            moved_rows += rows;
+            max_receiver = max_receiver.max(bytes);
+            max_bucket_moved = max_bucket_moved.max(rows);
+        }
+        let spec = *self.spec();
+        self.stats.bytes_shuffled += moved_bytes;
+        self.stats.stages += 1;
+        let balanced = moved_bytes as f64 / (spec.net_bw * spec.nodes as f64);
+        let skewed = max_receiver as f64 / spec.net_bw;
+        self.stats
+            .charge_secs(self.personality().stage_overhead + balanced.max(skewed));
+        // Merge chunk partial groups in slot order: first-occurrence key
+        // order and per-key row order match the unsplit serial loop exactly,
+        // because Balanced chunks are contiguous and in order.
+        let mut parts = Vec::with_capacity(plan.ways.len());
+        for (b, &w) in plan.ways.iter().enumerate() {
+            let off = plan.offsets[b];
+            let mut order: Vec<Value> = Vec::new();
+            let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
+            for j in 0..w {
+                for (k, mut vs) in std::mem::take(&mut grouped[off + j]) {
+                    let e = groups.entry(k.clone()).or_default();
+                    if e.is_empty() {
+                        order.push(k);
+                    }
+                    e.append(&mut vs);
+                }
+            }
+            let rows: Vec<Value> = order
+                .into_iter()
+                .map(|k| {
+                    let vs = groups.remove(&k).unwrap_or_default();
+                    Value::tuple(vec![k, Value::bag(vs)])
+                })
+                .collect();
+            parts.push(Arc::new(rows));
+        }
+        // The merge appends pre-grouped run vectors — no key UDF, no per-row
+        // hashing — so it carries the memcpy-class minimum record weight,
+        // not the full grouping cost phase 1 already paid.
+        self.charge_cpu_weighted(moved_rows, max_bucket_moved, 2.0);
+        let n = parts.len();
+        Ok(PlanResult::Bag(Partitioned {
+            parts,
+            partitioning: Some(Partitioning {
+                key: Lambda::new(["g"], ScalarExpr::var("g").get(0)),
+                parts: n,
+            }),
         }))
     }
 
@@ -1767,6 +2024,7 @@ impl<'a> Session<'a> {
         d: Partitioned,
         key: &Lambda,
         fold: &FoldOp,
+        split: Option<SplitKind>,
         env: &EnvSnapshot,
     ) -> Result<PlanResult, ExecError> {
         let base = self.eval_base_for_fold(fold, env)?;
@@ -1832,14 +2090,51 @@ impl<'a> Session<'a> {
             rows_b[b].push(row);
             hash_b[b].push(h);
         }
-        let shuffled = Partitioned {
-            parts: rows_b.into_iter().map(Arc::new).collect(),
-            partitioning: Some(Partitioning {
-                key: Lambda::new(["t"], ScalarExpr::var("t").get(0)),
-                parts: parts_n,
-            }),
+        // Skew-aware split of the partial shuffle. Because the combiner
+        // already collapsed each partition to one partial per key, partial
+        // buckets are rarely skewed — but heavy key *cardinality* skew still
+        // concentrates partials, and the key-preserving secondary hash keeps
+        // every copy of a key in the same sub-partition so the merge phase
+        // stays a plain per-partition reduction.
+        let sizes: Vec<u64> = rows_b.iter().map(|b| b.len() as u64).collect();
+        let agg_split = self.plan_bucket_splits(split, &sizes);
+        let (shuffled, hash_b) = if let Some(sp) = &agg_split {
+            let mut rows_s: Vec<Vec<Value>> = (0..sp.output_parts).map(|_| Vec::new()).collect();
+            let mut hash_s: Vec<Vec<u64>> = (0..sp.output_parts).map(|_| Vec::new()).collect();
+            let mut moved = 0u64;
+            for (b, (rows, hashes)) in rows_b.into_iter().zip(hash_b).enumerate() {
+                let w = sp.ways[b];
+                let off = sp.offsets[b];
+                for (row, h) in rows.into_iter().zip(hashes) {
+                    let sub = if w > 1 {
+                        (skew::sub_hash(h) % w as u64) as usize
+                    } else {
+                        0
+                    };
+                    moved += u64::from(sub != 0);
+                    rows_s[off + sub].push(row);
+                    hash_s[off + sub].push(h);
+                }
+            }
+            self.stats.partitions_split += sp.partitions_split();
+            self.stats.split_rows_moved += moved;
+            let shuffled = Partitioned {
+                parts: rows_s.into_iter().map(Arc::new).collect(),
+                partitioning: None,
+            };
+            self.charge_shuffle(&shuffled, sp.output_parts);
+            (shuffled, hash_s)
+        } else {
+            let shuffled = Partitioned {
+                parts: rows_b.into_iter().map(Arc::new).collect(),
+                partitioning: Some(Partitioning {
+                    key: Lambda::new(["t"], ScalarExpr::var("t").get(0)),
+                    parts: parts_n,
+                }),
+            };
+            self.charge_shuffle(&shuffled, parts_n);
+            (shuffled, hash_b)
         };
-        self.charge_shuffle(&shuffled, parts_n);
 
         // Merge phase: same insertion-ordered per-partition reduction,
         // looking partials up by their carried hashes.
@@ -1869,12 +2164,19 @@ impl<'a> Session<'a> {
         self.charge_cpu(shuffled.total_rows(), shuffled.max_part_rows());
         self.stats.stages += 1;
         self.stats.charge_secs(self.personality().stage_overhead);
-        Ok(PlanResult::Bag(Partitioned {
-            parts,
-            partitioning: Some(Partitioning {
+        // A split layout routes by the two-level (primary, secondary) hash —
+        // it is not plain hash-partitioning, so advertise nothing.
+        let partitioning = if agg_split.is_some() {
+            None
+        } else {
+            Some(Partitioning {
                 key: Lambda::new(["g"], ScalarExpr::var("g").get(0)),
                 parts: shuffled.num_parts(),
-            }),
+            })
+        };
+        Ok(PlanResult::Bag(Partitioned {
+            parts,
+            partitioning,
         }))
     }
 
@@ -2000,10 +2302,56 @@ impl<'a> Session<'a> {
         key: &Lambda,
         env: &EnvSnapshot,
     ) -> Result<(Partitioned, KeyCarriage), ExecError> {
+        let (out, carried, _) = self.shuffle_keyed_split(d, key, env, None)?;
+        Ok((out, carried))
+    }
+
+    /// Maps a consumer's [`SkewEligibility`] to the split flavor the shuffle
+    /// may apply — `None` (never split) unless skew splitting is configured.
+    fn split_kind(&self, elig: SkewEligibility) -> Option<SplitKind> {
+        self.engine.skew?;
+        match elig {
+            SkewEligibility::Balanced => Some(SplitKind::Balanced),
+            SkewEligibility::KeyPreserving => Some(SplitKind::KeyPreserving),
+            SkewEligibility::Ineligible => None,
+        }
+    }
+
+    /// Consults the skew config about the observed per-partition row counts:
+    /// tracks the pre-split skew ratio and returns the split plan, if any.
+    /// Pure in `(config, sizes)` — thread count and dispatch mode never
+    /// enter, so schedules replay bit-identically.
+    fn plan_bucket_splits(&mut self, kind: Option<SplitKind>, sizes: &[u64]) -> Option<SplitPlan> {
+        let cfg = self.engine.skew?;
+        kind?;
+        let ratio = skew::skew_ratio(sizes);
+        if ratio > self.stats.max_skew_ratio {
+            self.stats.max_skew_ratio = ratio;
+        }
+        skew::plan_splits(&cfg, sizes)
+    }
+
+    /// [`shuffle_keyed`](Self::shuffle_keyed) with skew-aware splitting: when
+    /// `split` names an eligible flavor and the engine has a [`SkewConfig`],
+    /// hot output partitions are split into sub-partitions (contiguous row
+    /// chunks for [`SplitKind::Balanced`], secondary key-hash routing for
+    /// [`SplitKind::KeyPreserving`]) and the returned [`SplitPlan`] tells the
+    /// consumer which sub-partitions belong to which original bucket. A split
+    /// layout carries `partitioning: None` — it is two-level-hashed and must
+    /// never satisfy a plain partitioning request. Shuffle costs are charged
+    /// on the layout that actually lands (the split one), which is smaller at
+    /// the hottest receiver but pays more per-file seeks.
+    fn shuffle_keyed_split(
+        &mut self,
+        d: Partitioned,
+        key: &Lambda,
+        env: &EnvSnapshot,
+        split: Option<SplitKind>,
+    ) -> Result<(Partitioned, KeyCarriage, Option<SplitPlan>), ExecError> {
         let parts_n = self.dop();
         if let Some(p) = &d.partitioning {
             if p.satisfies(key, parts_n) {
-                return Ok((d, None));
+                return Ok((d, None, None));
             }
         }
         let base = self.eval_base_for_lambdas(&[key], env)?;
@@ -2067,6 +2415,19 @@ impl<'a> Session<'a> {
                 keys[b].append(&mut ks);
             }
         }
+        let sizes: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
+        if let Some(plan) = self.plan_bucket_splits(split, &sizes) {
+            let kind = split.expect("a split plan implies an eligible flavor");
+            let (split_buckets, split_keys, moved) = apply_split(&plan, kind, buckets, keys);
+            self.stats.partitions_split += plan.partitions_split();
+            self.stats.split_rows_moved += moved;
+            let out = Partitioned {
+                parts: split_buckets.into_iter().map(Arc::new).collect(),
+                partitioning: None,
+            };
+            self.charge_shuffle(&out, plan.output_parts);
+            return Ok((out, Some(split_keys), Some(plan)));
+        }
         let out = Partitioned {
             parts: buckets.into_iter().map(Arc::new).collect(),
             partitioning: Some(Partitioning {
@@ -2075,7 +2436,7 @@ impl<'a> Session<'a> {
             }),
         };
         self.charge_shuffle(&out, parts_n);
-        Ok((out, Some(keys)))
+        Ok((out, Some(keys), None))
     }
 
     /// The shuffle cost charges, shared by [`shuffle_keyed`](Self::shuffle_keyed)
@@ -2343,6 +2704,71 @@ impl<'a> Session<'a> {
         }
         Ok(base)
     }
+}
+
+/// Applies a [`SplitPlan`] to freshly bucketed shuffle output, producing the
+/// sub-partitioned layout (rows and carried keys stay row-aligned) plus the
+/// number of rows placed outside their bucket's first sub-partition.
+///
+/// [`SplitKind::Balanced`] cuts a hot bucket into contiguous, near-equal row
+/// chunks — concatenating the sub-partitions in slot order reproduces the
+/// bucket's exact row order, which is what lets the groupBy merge phase and
+/// the join probe emit bit-identical rows. [`SplitKind::KeyPreserving`]
+/// routes each row by a secondary hash of its carried key hash, so every
+/// copy of a key lands in the same sub-partition (required by per-key
+/// consumers like `aggBy` merge, `Distinct`, and stateful routing) at the
+/// price of weaker balancing — a single dominant key stays whole.
+/// Sub-partitioned rows, their row-aligned carried keys, and the number of
+/// rows that left their bucket's first sub-partition.
+type SplitBuckets = (Vec<Vec<Value>>, Vec<Vec<(u64, Value)>>, u64);
+
+fn apply_split(
+    plan: &SplitPlan,
+    kind: SplitKind,
+    buckets: Vec<Vec<Value>>,
+    keys: Vec<Vec<(u64, Value)>>,
+) -> SplitBuckets {
+    let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(plan.output_parts);
+    let mut out_keys: Vec<Vec<(u64, Value)>> = Vec::with_capacity(plan.output_parts);
+    let mut moved = 0u64;
+    for ((b, rows), ks) in buckets.into_iter().enumerate().zip(keys) {
+        let w = plan.ways[b];
+        if w <= 1 {
+            out_rows.push(rows);
+            out_keys.push(ks);
+            continue;
+        }
+        match kind {
+            SplitKind::Balanced => {
+                let n = rows.len();
+                let mut rows_iter = rows.into_iter();
+                let mut keys_iter = ks.into_iter();
+                for j in 0..w {
+                    let len = (j + 1) * n / w - j * n / w;
+                    out_rows.push(rows_iter.by_ref().take(len).collect());
+                    out_keys.push(keys_iter.by_ref().take(len).collect());
+                    if j > 0 {
+                        moved += len as u64;
+                    }
+                }
+            }
+            SplitKind::KeyPreserving => {
+                let mut sub_rows: Vec<Vec<Value>> = (0..w).map(|_| Vec::new()).collect();
+                let mut sub_keys: Vec<Vec<(u64, Value)>> = (0..w).map(|_| Vec::new()).collect();
+                for (row, (h, k)) in rows.into_iter().zip(ks) {
+                    let sub = (skew::sub_hash(h) % w as u64) as usize;
+                    if sub != 0 {
+                        moved += 1;
+                    }
+                    sub_rows[sub].push(row);
+                    sub_keys[sub].push((h, k));
+                }
+                out_rows.extend(sub_rows);
+                out_keys.extend(sub_keys);
+            }
+        }
+    }
+    (out_rows, out_keys, moved)
 }
 
 /// Whether a plan's output rows are materialized `(key, {{values}})` groups

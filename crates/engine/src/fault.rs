@@ -22,6 +22,13 @@
 //! The draws themselves go through the workspace's [`rand`] shim
 //! (xoshiro256** seeded via SplitMix64), one freshly seeded generator per
 //! decision.
+//!
+//! Retry granularity follows the physical task layout. When the skew-aware
+//! shuffle ([`crate::skew`]) splits a hot partition into sub-partitions, each
+//! sub-partition becomes its own partition task: it draws its own fate (its
+//! `part` identifier is its slot index in the split layout) and retries
+//! independently, so one failing sub-partition never forces re-execution of
+//! its siblings.
 
 use std::any::Any;
 
@@ -74,6 +81,50 @@ pub struct FaultConfig {
     /// plus re-reading the task's input split. A backup can only win its race
     /// when `speculation_overhead_secs + backup_delay < straggle_delay`.
     pub speculation_overhead_secs: f64,
+    /// Which stragglers get a backup copy when `speculation` is on. The
+    /// default, [`SpeculationPolicy::All`], keeps the historical
+    /// clone-every-straggler behavior.
+    pub speculation_policy: SpeculationPolicy,
+}
+
+/// Selects which straggling tasks receive a speculative backup copy.
+///
+/// The policy is evaluated per wave from the wave's *injected* delays — a
+/// pure function of the precomputed fate schedule, so it replays identically
+/// across thread counts and dispatch modes.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum SpeculationPolicy {
+    /// Clone every straggler (the original behavior).
+    #[default]
+    All,
+    /// Clone only stragglers slower than the wave's `q`-quantile of task
+    /// delays (non-straggling tasks count as 0.0 delay). With `q = 0.75`,
+    /// only the slowest quarter of a wave's tasks race a backup — fewer
+    /// wasted duplicate slots at the price of tolerating mild stragglers.
+    Quantile(f64),
+}
+
+impl SpeculationPolicy {
+    /// The delay threshold above which a straggler is cloned, given the
+    /// wave's full delay profile (one entry per task, 0.0 for non-stragglers).
+    /// `All` admits every positive delay. Pure: sorts a copy, no RNG.
+    pub fn clone_threshold(&self, wave_delays: &[f64]) -> f64 {
+        match *self {
+            SpeculationPolicy::All => 0.0,
+            SpeculationPolicy::Quantile(q) => {
+                if wave_delays.is_empty() {
+                    return 0.0;
+                }
+                let mut sorted = wave_delays.to_vec();
+                sorted.sort_by(f64::total_cmp);
+                let q = q.clamp(0.0, 1.0);
+                let idx = ((q * sorted.len() as f64).ceil() as usize)
+                    .saturating_sub(1)
+                    .min(sorted.len() - 1);
+                sorted[idx]
+            }
+        }
+    }
 }
 
 impl Default for FaultConfig {
@@ -97,6 +148,7 @@ impl FaultConfig {
             retry_backoff_secs: 1.0,
             speculation: false,
             speculation_overhead_secs: 0.25,
+            speculation_policy: SpeculationPolicy::All,
         }
     }
 
@@ -114,6 +166,7 @@ impl FaultConfig {
             retry_backoff_secs: 0.5,
             speculation: false,
             speculation_overhead_secs: 0.25,
+            speculation_policy: SpeculationPolicy::All,
         }
     }
 
@@ -175,6 +228,12 @@ impl FaultConfig {
     /// Sets the launch cost of one speculative backup copy.
     pub fn with_speculation_overhead_secs(mut self, secs: f64) -> Self {
         self.speculation_overhead_secs = secs;
+        self
+    }
+
+    /// Selects which stragglers get backup copies (see [`SpeculationPolicy`]).
+    pub fn with_speculation_policy(mut self, policy: SpeculationPolicy) -> Self {
+        self.speculation_policy = policy;
         self
     }
 
@@ -438,6 +497,46 @@ mod tests {
         assert!(!FaultConfig::disabled().speculation);
         assert!(!FaultConfig::chaos(7).speculation);
         assert!(FaultConfig::disabled().with_speculation(true).speculation);
+    }
+
+    #[test]
+    fn speculation_policy_defaults_to_clone_everything() {
+        assert_eq!(
+            FaultConfig::disabled().speculation_policy,
+            SpeculationPolicy::All
+        );
+        assert_eq!(
+            FaultConfig::chaos(7).speculation_policy,
+            SpeculationPolicy::All
+        );
+        let cfg = FaultConfig::chaos_speculative(7)
+            .with_speculation_policy(SpeculationPolicy::Quantile(0.9));
+        assert_eq!(cfg.speculation_policy, SpeculationPolicy::Quantile(0.9));
+    }
+
+    #[test]
+    fn quantile_threshold_picks_the_wave_quantile() {
+        let all = SpeculationPolicy::All;
+        assert_eq!(all.clone_threshold(&[0.0, 3.0, 1.0]), 0.0);
+
+        let q75 = SpeculationPolicy::Quantile(0.75);
+        // Sorted: [0, 0, 1, 4]; ceil(0.75×4)−1 = 2 → threshold 1.0. Only the
+        // 4.0s straggler clears it; the 1.0s one equals it and is tolerated.
+        assert_eq!(q75.clone_threshold(&[0.0, 4.0, 1.0, 0.0]), 1.0);
+        assert_eq!(q75.clone_threshold(&[]), 0.0);
+        // All-quiet wave: threshold 0.0, and no straggler exists to clone.
+        assert_eq!(q75.clone_threshold(&[0.0, 0.0]), 0.0);
+        // q clamps: Quantile(2.0) behaves like the max.
+        assert_eq!(
+            SpeculationPolicy::Quantile(2.0).clone_threshold(&[1.0, 5.0]),
+            5.0
+        );
+        // Determinism: same profile, same threshold.
+        let profile = [0.7, 0.0, 2.4, 0.0, 9.1, 0.3];
+        assert_eq!(
+            q75.clone_threshold(&profile).to_bits(),
+            q75.clone_threshold(&profile).to_bits()
+        );
     }
 
     #[test]

@@ -33,10 +33,12 @@ pub mod fault;
 pub mod metrics;
 pub mod ordmap;
 pub mod pool;
+pub mod skew;
 
 pub use cluster::{ClusterSpec, Personality};
 pub use dataset::{Partitioned, Partitioning};
 pub use exec::{Engine, EngineRun};
-pub use fault::{CheckpointConfig, FaultConfig, TaskFault};
+pub use fault::{CheckpointConfig, FaultConfig, SpeculationPolicy, TaskFault};
 pub use metrics::{ExecError, ExecStats};
 pub use pool::{ParallelismMode, WorkerPool};
+pub use skew::SkewConfig;

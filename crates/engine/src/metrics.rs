@@ -90,6 +90,16 @@ pub struct ExecStats {
     /// counterpart of `retry_sim_secs`. Excluded from equality like
     /// `wall_secs`.
     pub retry_wall_secs: f64,
+    /// Hot shuffle partitions split into sub-partitions by the skew-aware
+    /// shuffle layer (requires `Engine::with_skew_splitting`).
+    pub partitions_split: u64,
+    /// Rows a split placed outside their original partition's first
+    /// sub-partition — the data-movement price of rebalancing.
+    pub split_rows_moved: u64,
+    /// Worst skew ratio (`max_part_rows × parts / total_rows`) observed
+    /// across skew-eligible shuffles, measured *before* splitting. 1.0 is
+    /// perfectly balanced; only tracked when skew splitting is configured.
+    pub max_skew_ratio: f64,
 }
 
 /// Attoseconds per second — the resolution of the simulated clock.
@@ -150,6 +160,9 @@ impl PartialEq for ExecStats {
             && self.recomputed_partitions == other.recomputed_partitions
             && self.recomputed_plan_nodes == other.recomputed_plan_nodes
             && self.retry_sim_secs == other.retry_sim_secs
+            && self.partitions_split == other.partitions_split
+            && self.split_rows_moved == other.split_rows_moved
+            && self.max_skew_ratio == other.max_skew_ratio
     }
 }
 
@@ -201,6 +214,13 @@ impl fmt::Display for ExecStats {
                 f,
                 "  evicted={}  recomputed={}p/{}n",
                 self.cache_evictions, self.recomputed_partitions, self.recomputed_plan_nodes
+            )?;
+        }
+        if self.partitions_split > 0 || self.max_skew_ratio > 0.0 {
+            write!(
+                f,
+                "  skew={:.2}  split={}  moved={}",
+                self.max_skew_ratio, self.partitions_split, self.split_rows_moved
             )?;
         }
         Ok(())
@@ -375,6 +395,38 @@ mod tests {
             "{noisy}"
         );
         assert!(noisy.contains("ckpt=6w/2r"), "{noisy}");
+    }
+
+    #[test]
+    fn display_appends_skew_counters_only_when_tracked() {
+        let mut s = ExecStats::default();
+        assert!(!s.to_string().contains("skew="), "{s}");
+        s.max_skew_ratio = 3.5;
+        s.partitions_split = 2;
+        s.split_rows_moved = 4096;
+        let noisy = s.to_string();
+        assert!(noisy.contains("skew=3.50  split=2  moved=4096"), "{noisy}");
+        // A skew-configured run that never split still reports the ratio.
+        let watched = ExecStats {
+            max_skew_ratio: 1.0,
+            ..Default::default()
+        };
+        assert!(watched.to_string().contains("skew=1.00  split=0"));
+    }
+
+    #[test]
+    fn eq_compares_skew_counters() {
+        let a = ExecStats::default();
+        let b = ExecStats {
+            partitions_split: 1,
+            ..Default::default()
+        };
+        assert_ne!(a, b);
+        let c = ExecStats {
+            max_skew_ratio: 2.0,
+            ..Default::default()
+        };
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -372,12 +372,19 @@ impl Parallelism {
     /// per retry wave (gating on the surviving partitions' share of the
     /// batch) and race speculative task clones settled on the driver,
     /// without perturbing any deterministic counter.
+    ///
+    /// Task count `n` is whatever layout the caller's wave has — under
+    /// skew-aware splitting a wide wave carries one task per *sub*-partition
+    /// (sum of the split ways), so sub-partitions settle, fail, and retry
+    /// individually with no extra plumbing here.
     pub fn run_settled<T, F>(&self, wide: bool, n: usize, total_rows: u64, f: F) -> Vec<Settled<T>>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let serial = !self.gate(total_rows) || (wide && self.mode == ParallelismMode::PerOperator);
+        // `n <= 1` has nothing to fan out — skip slot/scope setup entirely.
+        let serial =
+            n <= 1 || !self.gate(total_rows) || (wide && self.mode == ParallelismMode::PerOperator);
         if serial {
             return (0..n)
                 .map(|i| catch_unwind(AssertUnwindSafe(|| f(i))))

@@ -25,7 +25,7 @@ use emma_compiler::pipeline::{parallelize, CompiledProgram, OptimizerFlags};
 use emma_compiler::program::{Program, Stmt};
 use emma_compiler::value::Value;
 use emma_engine::cluster::{ClusterSpec, Personality};
-use emma_engine::{CheckpointConfig, Engine, FaultConfig, ParallelismMode};
+use emma_engine::{CheckpointConfig, Engine, FaultConfig, ParallelismMode, SpeculationPolicy};
 use proptest::prelude::*;
 
 fn tiny_engine() -> Engine {
@@ -191,6 +191,48 @@ fn speculation_cuts_straggler_cost_without_changing_results() {
     assert_eq!(on.stats, again.stats);
     assert_eq!(
         on.stats.simulated_secs.to_bits(),
+        again.stats.simulated_secs.to_bits()
+    );
+}
+
+#[test]
+fn quantile_policy_clones_fewer_backups_without_changing_results() {
+    let (prog, catalog) = workload();
+    let heavy = FaultConfig::disabled()
+        .with_seed(5)
+        .with_straggler_p(0.4)
+        .with_straggler_secs(5.0)
+        .with_speculation(true);
+    let all = tiny_engine()
+        .with_faults(heavy)
+        .run(&prog, &catalog)
+        .expect("clone-everything policy");
+    let quantile = tiny_engine()
+        .with_faults(heavy.with_speculation_policy(SpeculationPolicy::Quantile(0.75)))
+        .run(&prog, &catalog)
+        .expect("quantile policy");
+    // Same rows, same scalars, same primary schedule.
+    assert_eq!(quantile.writes, all.writes);
+    assert_eq!(quantile.scalars, all.scalars);
+    assert_eq!(quantile.stats.straggler_delays, all.stats.straggler_delays);
+    // The default clones every straggler; the quantile policy only the worst
+    // quartile of each wave — strictly fewer backups, but still some.
+    assert_eq!(all.stats.tasks_speculated, all.stats.straggler_delays);
+    assert!(
+        quantile.stats.tasks_speculated < all.stats.tasks_speculated,
+        "quantile must clone fewer: {} vs {}",
+        quantile.stats.tasks_speculated,
+        all.stats.tasks_speculated
+    );
+    assert!(quantile.stats.tasks_speculated > 0, "{}", quantile.stats);
+    // And it replays bit-identically.
+    let again = tiny_engine()
+        .with_faults(heavy.with_speculation_policy(SpeculationPolicy::Quantile(0.75)))
+        .run(&prog, &catalog)
+        .expect("quantile replay");
+    assert_eq!(quantile.stats, again.stats);
+    assert_eq!(
+        quantile.stats.simulated_secs.to_bits(),
         again.stats.simulated_secs.to_bits()
     );
 }

@@ -1,11 +1,11 @@
 //! Wall-clock benchmark of the compiled-evaluator tier: the same
-//! lambda-heavy narrow chain executed (a) through the tree-walking
-//! reference interpreter and (b) through the slot-based evaluators that
-//! `compiled_eval` lowers every UDF into once per run. Both configurations
-//! run fused on the persistent worker pool, so the only difference is how
-//! each row is evaluated on the host: AST walk with name-resolved
-//! environment lookups versus a flat postfix program over indexed slots
-//! with closed subtrees pre-folded.
+//! lambda-heavy narrow chain ([`emma_bench::lambda_chain`]) executed
+//! (a) through the tree-walking reference interpreter and (b) through the
+//! slot-based evaluators that `compiled_eval` lowers every UDF into once
+//! per run. Both configurations run fused on the persistent worker pool, so
+//! the only difference is how each row is evaluated on the host: AST walk
+//! with name-resolved environment lookups versus a flat postfix program
+//! over indexed slots with closed subtrees pre-folded.
 //!
 //! Besides printing the usual criterion summary, the harness writes
 //! `BENCH_compiled_eval.json` at the repository root with the raw
@@ -16,158 +16,8 @@
 
 use criterion::{criterion_group, take_measurements, Criterion, Measurement};
 use emma::prelude::*;
-use emma_compiler::expr::BuiltinFn;
-use emma_compiler::physical_pipeline::apply_pipeline_fusion;
-use emma_compiler::pipeline::{CStmt, CompiledProgram, OptimizationReport};
+use emma_bench::lambda_chain::{self, ROWS, STAGES};
 use emma_engine::ParallelismMode;
-
-/// Rows in the benchmark dataset — large enough that per-row evaluation
-/// dominates the run and fixed per-run costs (compilation, pool spin-up)
-/// vanish into the noise.
-const ROWS: i64 = 1_000_000;
-
-fn var(n: &str) -> ScalarExpr {
-    ScalarExpr::var(n)
-}
-
-fn lit(k: i64) -> ScalarExpr {
-    ScalarExpr::lit(k)
-}
-
-/// A lambda-heavy narrow chain over `(i64, i64)` tuple rows: a branchy
-/// tuple-rewrite head followed by an expression-dense integer-hashing tail,
-/// thirteen narrow operators whose bodies together walk ~300 expression
-/// nodes per row in the interpreter — repeated field accesses, a branch,
-/// builtin calls, and closed constant subtrees the compiled tier folds away
-/// at compile time. This is the per-row shape of real scoring/cleaning UDFs
-/// (Fig. 4's spam features), isolated from wide operators so evaluation
-/// cost is the whole story.
-fn lambda_heavy_plan() -> Plan {
-    let t0 = || var("t").get(0);
-    let t1 = || var("t").get(1);
-    let mut plan = Plan::Source { name: "xs".into() };
-    // Branchy tuple rewrite. The else-branch offset `(3*7+2) % 5` is closed:
-    // the interpreter re-evaluates it for every row, the compiled evaluator
-    // folds it into a single constant at compile time.
-    plan = Plan::Map {
-        input: Box::new(plan),
-        f: Lambda::new(
-            ["t"],
-            ScalarExpr::If(
-                Box::new(t0().rem(lit(3)).eq(lit(0))),
-                Box::new(ScalarExpr::Tuple(vec![
-                    t0().mul(lit(2)).add(t1()).sub(lit(7)),
-                    t1().add(lit(1)),
-                ])),
-                Box::new(ScalarExpr::Tuple(vec![
-                    t0().add(lit(3).mul(lit(7)).add(lit(2)).rem(lit(5))),
-                    t1().mul(lit(3)).rem(lit(101)),
-                ])),
-            ),
-        ),
-    };
-    // Multi-term validity predicate that keeps nearly every row.
-    plan = Plan::Filter {
-        input: Box::new(plan),
-        p: Lambda::new(
-            ["t"],
-            t0().add(t1())
-                .rem(lit(17))
-                .ne(lit(3))
-                .and(t0().mul(lit(3)).sub(t1()).gt(lit(-1_000_000))),
-        ),
-    };
-    // Polynomial feature map: (x*2+1) * (x%7+3) + |x - y|, min'd against a
-    // cap, carried alongside a rescaled second field.
-    plan = Plan::Map {
-        input: Box::new(plan),
-        f: Lambda::new(
-            ["t"],
-            ScalarExpr::Tuple(vec![
-                ScalarExpr::call(
-                    BuiltinFn::MinOf,
-                    vec![
-                        t0().mul(lit(2))
-                            .add(lit(1))
-                            .mul(t0().rem(lit(7)).add(lit(3)))
-                            .add(ScalarExpr::call(BuiltinFn::Abs, vec![t0().sub(t1())])),
-                        lit(1 << 20),
-                    ],
-                ),
-                t1().mul(lit(13)).rem(lit(997)),
-            ]),
-        ),
-    };
-    plan = Plan::Filter {
-        input: Box::new(plan),
-        p: Lambda::new(["t"], t0().rem(lit(251)).ne(lit(0)).or(t1().lt(lit(500)))),
-    };
-    // Collapse to a scalar score per row.
-    plan = Plan::Map {
-        input: Box::new(plan),
-        f: Lambda::new(
-            ["t"],
-            t0().add(t1().mul(lit(31)))
-                .rem(lit(1_000_003))
-                .mul(lit(2))
-                .add(t0().rem(lit(2))),
-        ),
-    };
-    // Four rounds of integer feature hashing over the scalar score — the
-    // expression-dense tail where row transport is a single machine word
-    // and per-row cost is almost pure UDF evaluation.
-    for (a, b, m) in [
-        (3, 11, 65_521),
-        (7, 29, 32_749),
-        (5, 17, 16_381),
-        (13, 41, 8_191),
-    ] {
-        plan = Plan::Map {
-            input: Box::new(plan),
-            f: Lambda::new(["x"], hash_round(a, b, m)),
-        };
-        plan = Plan::Filter {
-            input: Box::new(plan),
-            p: Lambda::new(
-                ["x"],
-                var("x")
-                    .rem(lit(m - 1))
-                    .ne(lit(m / 2))
-                    .or(var("x").ge(lit(0))),
-            ),
-        };
-    }
-    plan
-}
-
-/// One round of integer feature hashing: several multiplicative mixes of
-/// `x` summed and reduced mod `m`, with a closed salt `(a*b + 2) % 19` the
-/// compiled tier folds to one constant.
-fn hash_round(a: i64, b: i64, m: i64) -> ScalarExpr {
-    let x = || var("x");
-    x().mul(lit(a))
-        .add(lit(b))
-        .rem(lit(m))
-        .add(x().mul(lit(b)).add(lit(a)).rem(lit(m - 2)))
-        .add(x().rem(lit(7)).mul(x().rem(lit(13))).add(x().rem(lit(29))))
-        .add(ScalarExpr::call(BuiltinFn::Abs, vec![x().sub(lit(m / 2))]))
-        .rem(lit(m))
-        .add(lit(a).mul(lit(b)).add(lit(2)).rem(lit(19)))
-}
-
-fn program(compiled_eval: bool) -> CompiledProgram {
-    let mut prog = CompiledProgram {
-        body: vec![CStmt::Write {
-            sink: "out".into(),
-            plan: lambda_heavy_plan(),
-        }],
-        report: OptimizationReport::default(),
-        compiled_eval,
-    };
-    apply_pipeline_fusion(&mut prog.body, &mut prog.report);
-    assert_eq!(prog.report.pipelines_fused, 1, "chain must fuse");
-    prog
-}
 
 /// Both configurations run the identical fused plan on the worker pool;
 /// only the evaluation tier differs.
@@ -176,19 +26,14 @@ fn configs() -> [(&'static str, bool); 2] {
 }
 
 fn bench_compiled_eval(c: &mut Criterion) {
-    let catalog = Catalog::new().with(
-        "xs",
-        (0..ROWS)
-            .map(|i| Value::tuple(vec![Value::Int(i % 10_000), Value::Int((i * 7) % 1_000)]))
-            .collect::<Vec<_>>(),
-    );
+    let catalog = lambda_chain::catalog();
     let engine = Engine::sparrow()
         .with_parallelism_mode(ParallelismMode::Pool)
         .with_parallelism_threshold(4_096);
     let mut group = c.benchmark_group("compiled_eval");
     group.sample_size(8);
     for (name, compiled_eval) in configs() {
-        let prog = program(compiled_eval);
+        let prog = lambda_chain::program(compiled_eval, false);
         group.bench_function(name, |b| {
             b.iter(|| std::hint::black_box(engine.run(&prog, &catalog).expect("run")))
         });
@@ -229,12 +74,13 @@ fn main() {
             results.push_str(",\n");
         }
         results.push_str(&format!(
-            "    {{\"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"samples\": {}, \"iters_per_sample\": {}}}",
-            m.id, m.mean_ns, m.min_ns, m.max_ns, m.samples, m.iters_per_sample
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"samples\": {}, \"iters_per_sample\": {}, \"records_per_sec\": {:.0}}}",
+            m.id, m.mean_ns, m.min_ns, m.max_ns, m.samples, m.iters_per_sample,
+            ROWS as f64 * 1e9 / m.mean_ns
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"compiled_eval\",\n  \"rows\": {ROWS},\n  \"stages\": 13,\n  \"threads\": {threads},\n  \"speedup_compiled_vs_interp\": {speedup:.3},\n  \"speedup_compiled_vs_interp_min\": {speedup_min:.3},\n  \"results\": [\n{results}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"compiled_eval\",\n  \"rows\": {ROWS},\n  \"stages\": {STAGES},\n  \"threads\": {threads},\n  \"speedup_compiled_vs_interp\": {speedup:.3},\n  \"speedup_compiled_vs_interp_min\": {speedup_min:.3},\n  \"results\": [\n{results}\n  ]\n}}\n"
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

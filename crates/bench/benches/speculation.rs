@@ -187,8 +187,9 @@ fn main() {
             results.push_str(",\n");
         }
         results.push_str(&format!(
-            "    {{\"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"samples\": {}, \"iters_per_sample\": {}}}",
-            m.id, m.mean_ns, m.min_ns, m.max_ns, m.samples, m.iters_per_sample
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"samples\": {}, \"iters_per_sample\": {}, \"records_per_sec\": {:.0}}}",
+            m.id, m.mean_ns, m.min_ns, m.max_ns, m.samples, m.iters_per_sample,
+            ROWS as f64 * 1e9 / m.mean_ns
         ));
     }
     let json = format!(

@@ -1,4 +1,4 @@
-//! Acceptance check for the compiled-evaluator tier: across the paper
+//! Acceptance check for the compiled-evaluator tiers: across the paper
 //! workloads (Fig. 4 spam classifier, Fig. 5 group aggregation, TPC-H
 //! Q1/Q4, PageRank), running UDFs through the slot-based compiled
 //! evaluators must produce exactly the same sink rows, driver scalars, and
@@ -7,6 +7,14 @@
 //! evaluation tier, not a plan optimization: it may only change how fast a
 //! row is evaluated on the host, never what is computed or what the cost
 //! model charges.
+//!
+//! The vectorized batch tier is held to the same bar: with
+//! `vectorized_eval` on (by engine knob or program flag), every workload
+//! must reproduce the scalar compiled tier's rows, scalars, and cost-model
+//! counters exactly — the only counters allowed to move are the three
+//! vectorization telemetry fields — and rerunning the same configuration
+//! (including under chaos faults and skew splitting) must replay those
+//! telemetry counters bit-identically.
 
 use emma::algorithms::{groupagg, pagerank, spam, tpch};
 use emma::prelude::*;
@@ -14,6 +22,7 @@ use emma_bench::fig4;
 use emma_datagen::emails::{classifiers, EmailSpec};
 use emma_datagen::tpch::TpchSpec;
 use emma_datagen::KeyDistribution;
+use emma_engine::{BatchConfig, SkewConfig};
 
 fn assert_compiled_invariant(
     what: &str,
@@ -38,6 +47,73 @@ fn assert_compiled_invariant(
             a.stats.simulated_secs.to_bits(),
             b.stats.simulated_secs.to_bits(),
             "{what}: simulated time not bit-identical"
+        );
+    }
+    assert_vectorized_invariant(what, program, catalog, flags);
+}
+
+/// Strips the vectorization telemetry so two runs can be compared on every
+/// *cost-model* counter: rows/bytes/stages/faults and the simulated clock
+/// must be untouched by the batch tier; only the telemetry may differ.
+fn without_vec_telemetry(stats: &ExecStats) -> ExecStats {
+    let mut s = stats.clone();
+    s.rows_vectorized = 0;
+    s.batches_executed = 0;
+    s.vector_fallbacks = 0;
+    s
+}
+
+/// The vectorized-tier acceptance bar, run against the scalar compiled
+/// tier on both engines and through both opt-in routes (engine knob with a
+/// small batch so multi-batch replay is exercised, and the program-level
+/// `OptimizerFlags::vectorized_eval` with the default batch size).
+fn assert_vectorized_invariant(
+    what: &str,
+    program: &Program,
+    catalog: &Catalog,
+    flags: &OptimizerFlags,
+) {
+    let scalar = parallelize(program, &flags.with_compiled_eval(true));
+    let flagged = parallelize(
+        program,
+        &flags.with_compiled_eval(true).with_vectorized_eval(true),
+    );
+    assert!(
+        flagged.vectorized_eval && !scalar.vectorized_eval,
+        "{what}: vectorized_eval flag not plumbed through"
+    );
+    for engine in [Engine::sparrow(), Engine::flamingo()] {
+        let base = engine.run(&scalar, catalog).expect(what);
+        let knob = engine.clone().with_vectorized_eval(BatchConfig::new(64));
+        let a = knob.run(&scalar, catalog).expect(what);
+        let b = engine.run(&flagged, catalog).expect(what);
+        for (route, r) in [("engine knob", &a), ("program flag", &b)] {
+            assert_eq!(r.writes, base.writes, "{what}/{route}: sink rows differ");
+            assert_eq!(r.scalars, base.scalars, "{what}/{route}: scalars differ");
+            assert_eq!(
+                without_vec_telemetry(&r.stats),
+                base.stats,
+                "{what}/{route}: cost-model counters moved under vectorization"
+            );
+            assert_eq!(
+                r.stats.simulated_secs.to_bits(),
+                base.stats.simulated_secs.to_bits(),
+                "{what}/{route}: simulated time not bit-identical"
+            );
+        }
+        // No silent slow paths, no silent no-ops: with the tier on, every
+        // workload either vectorizes rows or reports its fallbacks.
+        assert!(
+            a.stats.rows_vectorized + a.stats.vector_fallbacks > 0,
+            "{what}: vectorized tier neither engaged nor reported a fallback"
+        );
+        // The specialization decision is taken on the driver from a
+        // deterministic sample, so the telemetry itself must replay
+        // bit-identically.
+        let a2 = knob.run(&scalar, catalog).expect(what);
+        assert_eq!(
+            a.stats, a2.stats,
+            "{what}: vectorization telemetry not reproducible"
         );
     }
 }
@@ -115,4 +191,49 @@ fn pagerank_counters_invariant_under_compiled_eval() {
         seed: 42,
     });
     assert_compiled_invariant("pagerank", &program, &catalog, &OptimizerFlags::all());
+}
+
+#[test]
+fn vectorized_counters_replay_bit_identically_under_chaos_and_skew() {
+    // The hostile leg: chaos fault injection (task failures, cache
+    // evictions, retries) plus eager skew splitting reshape which rows land
+    // in which partition attempt — yet the vectorized tier's specialization
+    // decision and telemetry are driver-side and deterministic, so two runs
+    // of the same configuration must agree on *every* counter bit, and the
+    // tier must still change nothing observable against the scalar runs
+    // under the same chaos schedule.
+    let program = groupagg::program();
+    let catalog = groupagg::catalog(4_000, 100, KeyDistribution::Zipf(1.2), 42);
+    let compiled = parallelize(&program, &OptimizerFlags::all());
+    for base in [Engine::sparrow(), Engine::flamingo()] {
+        let hostile = base
+            .with_faults(FaultConfig::chaos(1729))
+            .with_skew_splitting(SkewConfig::default().with_min_part_rows(64));
+        let scalar = hostile
+            .run(&compiled, &catalog)
+            .expect("scalar under chaos");
+        let vec_engine = hostile.with_vectorized_eval(BatchConfig::new(128));
+        let a = vec_engine
+            .run(&compiled, &catalog)
+            .expect("vectorized under chaos");
+        let b = vec_engine
+            .run(&compiled, &catalog)
+            .expect("vectorized under chaos, replayed");
+        assert_eq!(a.writes, scalar.writes, "chaos+skew: sink rows differ");
+        assert_eq!(a.scalars, scalar.scalars, "chaos+skew: scalars differ");
+        assert_eq!(
+            without_vec_telemetry(&a.stats),
+            scalar.stats,
+            "chaos+skew: cost-model counters moved under vectorization"
+        );
+        assert_eq!(
+            a.stats, b.stats,
+            "chaos+skew: counters (incl. vectorization telemetry) must replay bit-identically"
+        );
+        assert_eq!(
+            a.stats.simulated_secs.to_bits(),
+            b.stats.simulated_secs.to_bits(),
+            "chaos+skew: simulated time must replay bit-identically"
+        );
+    }
 }

@@ -41,8 +41,11 @@ use crate::value::{Value, ValueError};
 // ------------------------------------------------------------------ opcodes
 
 /// A postfix instruction over the value stack.
+///
+/// `pub(crate)` so the vectorized tier ([`crate::vectorized`]) can classify
+/// and re-specialize the same slot programs without re-lowering the AST.
 #[derive(Clone, Debug)]
-enum Op {
+pub(crate) enum Op {
     /// Push a (folded) constant.
     Const(Value),
     /// Fail with a compile-time-determined error (a closed subtree whose
@@ -76,21 +79,21 @@ enum Op {
 /// A compiled scalar expression: a flat opcode array that leaves exactly one
 /// value on the stack.
 #[derive(Clone, Debug)]
-struct Code {
-    ops: Vec<Op>,
+pub(crate) struct Code {
+    pub(crate) ops: Vec<Op>,
 }
 
 /// A compiled lambda nested inside an expression (fold `sng`/`uni`, bag
 /// `Map`/`Filter`/`GroupBy`/`AggBy` functions): parameter slots plus a body.
 #[derive(Clone, Debug)]
-struct CLam {
+pub(crate) struct CLam {
     slots: Vec<usize>,
     code: Code,
 }
 
 /// A compiled reified fold (`ScalarExpr::Fold`).
 #[derive(Clone, Debug)]
-struct CFold {
+pub(crate) struct CFold {
     bag: CBagNode,
     zero: Code,
     sng: CLam,
@@ -100,7 +103,7 @@ struct CFold {
 /// A compiled bag expression, mirroring [`BagExpr`] with pre-resolved
 /// variable references and compiled element functions.
 #[derive(Clone, Debug)]
-enum CBagNode {
+pub(crate) enum CBagNode {
     Read(String),
     Values(Vec<Value>),
     RefLocal(usize),
@@ -167,10 +170,10 @@ impl Machine {
 /// [`CompiledEval::eval`].
 #[derive(Clone, Debug)]
 pub struct CompiledEval {
-    arity: usize,
+    pub(crate) arity: usize,
     n_locals: usize,
     captures: Vec<String>,
-    code: Code,
+    pub(crate) code: Code,
 }
 
 /// A FlatMap body (`param` bound per row, body a bag expression) lowered to
@@ -208,6 +211,35 @@ impl CompiledEval {
         m.stack.clear();
         for (slot, a) in args.iter().enumerate() {
             m.locals[slot] = a.clone();
+        }
+        let rt = Rt {
+            captures: &self.captures,
+            caps,
+            catalog,
+        };
+        rt.run(&self.code, m)
+    }
+
+    /// Applies the compiled lambda to argument values the caller owns.
+    ///
+    /// [`eval`](Self::eval) clones every argument into its local slot, which
+    /// on `Arc`-backed values (tuples, bags, strings) is a refcount
+    /// round-trip per row. Callers that own the row — fused pipelines
+    /// threading a register-resident value through the stage chain, fold
+    /// combiners consuming their accumulator — move the arguments in
+    /// instead.
+    pub fn eval_owned<const N: usize>(
+        &self,
+        args: [Value; N],
+        caps: &[Option<Value>],
+        m: &mut Machine,
+        catalog: &Catalog,
+    ) -> Result<Value, ValueError> {
+        assert_eq!(self.arity, N, "lambda arity mismatch");
+        m.ensure_locals(self.n_locals);
+        m.stack.clear();
+        for (slot, a) in args.into_iter().enumerate() {
+            m.locals[slot] = a;
         }
         let rt = Rt {
             captures: &self.captures,
@@ -969,6 +1001,36 @@ mod tests {
             let lam = Lambda::new(["u"], ScalarExpr::BagOf(Box::new(bag)));
             check(&lam, &[Value::Int(0)], &HashMap::new(), &catalog);
         }
+    }
+
+    #[test]
+    fn eval_owned_matches_eval() {
+        let lam = Lambda::new(
+            ["a", "b"],
+            ScalarExpr::var("a")
+                .get(0)
+                .add(ScalarExpr::var("b"))
+                .mul(ScalarExpr::lit(3i64)),
+        );
+        let compiled = compile_lambda(&lam);
+        let caps = compiled.bind(&HashMap::new());
+        let catalog = Catalog::new();
+        let mut m = Machine::new();
+        for i in 0..5i64 {
+            let a = Value::tuple(vec![Value::Int(i), Value::Int(-i)]);
+            let b = Value::Int(i * 7);
+            let want = compiled.eval(&[a.clone(), b.clone()], &caps, &mut m, &catalog);
+            let got = compiled.eval_owned([a, b], &caps, &mut m, &catalog);
+            assert_eq!(want, got);
+        }
+        // Errors come through identically too.
+        let bad = Lambda::new(["x"], ScalarExpr::var("x").div(ScalarExpr::var("x")));
+        let compiled = compile_lambda(&bad);
+        let caps = compiled.bind(&HashMap::new());
+        let want = compiled.eval(&[Value::Int(0)], &caps, &mut m, &catalog);
+        let got = compiled.eval_owned([Value::Int(0)], &caps, &mut m, &catalog);
+        assert!(want.is_err());
+        assert_eq!(want, got);
     }
 
     #[test]

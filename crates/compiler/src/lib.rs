@@ -49,6 +49,7 @@ pub mod pipeline;
 pub mod plan;
 pub mod program;
 pub mod value;
+pub mod vectorized;
 
 pub use bag_expr::{BagExpr, BagLambda};
 pub use compiled::{compile_bag_body, compile_lambda, CompiledBag, CompiledEval, Machine};
@@ -58,3 +59,4 @@ pub use pipeline::{parallelize, CompiledProgram, OptimizationReport, OptimizerFl
 pub use plan::Plan;
 pub use program::{Program, RValue, Stmt};
 pub use value::{Value, ValueError};
+pub use vectorized::{specialize, BatchConfig, VecStageSpec, VectorPipeline, VectorScratch};

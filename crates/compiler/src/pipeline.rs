@@ -52,6 +52,15 @@ pub struct OptimizerFlags {
     /// deterministic cost-model counter, so it stays on even in
     /// [`OptimizerFlags::none`] and exists purely as an escape hatch.
     pub compiled_eval: bool,
+    /// Evaluate fully type-specializable Map/Filter/Fold bodies through
+    /// typed columnar batch kernels ([`crate::vectorized`]) on top of the
+    /// compiled tier. Like [`OptimizerFlags::compiled_eval`] this is an
+    /// engine *evaluation tier*: rows, errors, and every deterministic
+    /// cost-model counter are unchanged. Off by default (opt-in via
+    /// `Engine::with_vectorized_eval` or
+    /// [`OptimizerFlags::with_vectorized_eval`]); requires
+    /// `compiled_eval` to take effect.
+    pub vectorized_eval: bool,
 }
 
 impl OptimizerFlags {
@@ -66,6 +75,8 @@ impl OptimizerFlags {
             partition_pulling: true,
             pipeline_fusion: true,
             compiled_eval: true,
+            // Opt-in tier: off until explicitly requested.
+            vectorized_eval: false,
         }
     }
 
@@ -82,6 +93,7 @@ impl OptimizerFlags {
             pipeline_fusion: false,
             // Not a plan optimization — execution-tier toggle, see above.
             compiled_eval: true,
+            vectorized_eval: false,
         }
     }
 
@@ -140,6 +152,12 @@ impl OptimizerFlags {
     /// Builder-style toggle for the compiled-evaluator escape hatch.
     pub fn with_compiled_eval(mut self, on: bool) -> Self {
         self.compiled_eval = on;
+        self
+    }
+
+    /// Builder-style toggle for the vectorized batch-evaluation tier.
+    pub fn with_vectorized_eval(mut self, on: bool) -> Self {
+        self.vectorized_eval = on;
         self
     }
 }
@@ -328,6 +346,10 @@ pub struct CompiledProgram {
     /// Whether engines should evaluate UDFs through slot-compiled
     /// evaluators (see [`OptimizerFlags::compiled_eval`]).
     pub compiled_eval: bool,
+    /// Whether engines should batch-evaluate specializable UDF bodies
+    /// through typed columnar kernels (see
+    /// [`OptimizerFlags::vectorized_eval`]).
+    pub vectorized_eval: bool,
 }
 
 /// Compiles a program — the `parallelize { … }` entry point.
@@ -356,6 +378,7 @@ pub fn parallelize(p: &Program, flags: &OptimizerFlags) -> CompiledProgram {
         body,
         report,
         compiled_eval: flags.compiled_eval,
+        vectorized_eval: flags.vectorized_eval,
     }
 }
 

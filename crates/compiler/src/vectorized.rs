@@ -1,0 +1,1931 @@
+//! Vectorized batch evaluation: typed columnar kernels for compiled slot
+//! programs.
+//!
+//! The scalar compiled tier ([`crate::compiled`]) removed name resolution
+//! from the per-row hot path, but every row still flows through the `Value`
+//! enum one at a time: each opcode pays enum dispatch, a stack push/pop, and
+//! — for `Arc`-backed rows — refcount traffic. This module adds the third
+//! tier: a **static type-inference pass** over a compiled slot program (or a
+//! fused chain of them) classifies every opcode as specializable over typed
+//! `i64`/`f64`/`bool` columns or not, and fully-specializable programs are
+//! re-lowered into a flat array of **column kernels** executed over reusable
+//! scratch buffers in batches of [`BatchConfig::batch_rows`] rows.
+//!
+//! Design points:
+//!
+//! - **Specialization is all-or-nothing per program.** [`specialize`]
+//!   returns `None` the moment any opcode resists typing (string/vector
+//!   ops, nested folds, bag construction, an unbound capture, a static type
+//!   that would make the reference semantics error on every row); the
+//!   caller falls back to the scalar `Machine` for that operator and
+//!   reports it (`ExecStats::vector_fallbacks`) — no silent slow paths.
+//! - **Branch-free `If` via selection vectors.** `JumpIfFalse`/`Jump` pairs
+//!   are recovered into structured branches; each branch's kernels execute
+//!   only over the lanes selected for it, so an error (or a debug-mode
+//!   overflow panic) in a branch a lane does not take can never fire for
+//!   that lane — exactly the reference interpreter's taken-branch-only
+//!   evaluation, batched.
+//! - **Fused filters narrow the selection.** A pipeline's `Filter` stages
+//!   never materialize intermediates; they shrink the active selection that
+//!   all downstream kernels (and the final row materialization) iterate
+//!   over. Per-stage entry counts — the engine's cost-model inputs — are
+//!   the selection sizes at each stage boundary, bit-identical to the
+//!   scalar pass.
+//! - **Error semantics are preserved exactly, by replay.** Column-at-a-time
+//!   execution evaluates op `k` for every row before op `k+1` for any row,
+//!   which reorders *errors across rows*. So kernels never report which
+//!   lane failed: any failing lane (division/modulo by zero on a selected
+//!   lane) aborts the batch, [`VectorPipeline::run_batch`] returns `false`
+//!   without touching its outputs, and the caller re-runs that batch
+//!   row-at-a-time through the scalar tier — reproducing the *first* error
+//!   in evaluation order bit-identically. A batch whose rows do not all
+//!   conform to the specialized input shape takes the same path.
+//!
+//! The scalar compiled tier and the reference interpreter stay the
+//! executable specification; the differential suite in `tests/` proves the
+//! three tiers agree on arbitrary expression trees — values *and* errors.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::ops::Range;
+
+use crate::compiled::{CompiledEval, Op};
+use crate::expr::{BinOp, BuiltinFn, UnOp};
+use crate::value::Value;
+
+// ------------------------------------------------------------------- config
+
+/// Knobs for the vectorized batch-evaluation tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Rows per batch: the unit over which kernel dispatch is amortized and
+    /// the granularity of scalar error replay.
+    pub batch_rows: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { batch_rows: 1024 }
+    }
+}
+
+impl BatchConfig {
+    /// A config with the given batch size (clamped to at least 1).
+    pub fn new(batch_rows: usize) -> Self {
+        BatchConfig {
+            batch_rows: batch_rows.max(1),
+        }
+    }
+}
+
+// ------------------------------------------------------------------- shapes
+
+/// The statically inferred layout of one input-row component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Shape {
+    I64,
+    F64,
+    Bool,
+    /// A type the kernels cannot compute on (Null, Str, Vector, Bag):
+    /// loadable only as an opaque pass-through `Value` column.
+    Other,
+    Tuple(Vec<Shape>),
+}
+
+fn shape_of(v: &Value) -> Shape {
+    match v {
+        Value::Int(_) => Shape::I64,
+        Value::Float(_) => Shape::F64,
+        Value::Bool(_) => Shape::Bool,
+        Value::Tuple(fs) => Shape::Tuple(fs.iter().map(shape_of).collect()),
+        _ => Shape::Other,
+    }
+}
+
+/// Navigates a field path into a row.
+fn path_get<'v>(row: &'v Value, path: &[usize]) -> Option<&'v Value> {
+    let mut cur = row;
+    for &i in path {
+        cur = match cur {
+            Value::Tuple(fs) => fs.get(i)?,
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+// ------------------------------------------------------------ kernel program
+
+type Reg = usize;
+type SelId = usize;
+
+/// One column kernel. Loads and splats cover the whole batch (loads double
+/// as the per-batch shape check); compute kernels touch only the lanes of
+/// their selection vector, so errors and debug-overflow panics fire exactly
+/// for the lanes the scalar semantics would evaluate.
+#[derive(Clone, Debug)]
+enum VInstr {
+    LoadI {
+        dst: Reg,
+        path: Vec<usize>,
+    },
+    LoadF {
+        dst: Reg,
+        path: Vec<usize>,
+    },
+    LoadB {
+        dst: Reg,
+        path: Vec<usize>,
+    },
+    LoadV {
+        dst: Reg,
+        path: Vec<usize>,
+    },
+    SplatI {
+        dst: Reg,
+        v: i64,
+    },
+    SplatF {
+        dst: Reg,
+        v: f64,
+    },
+    SplatB {
+        dst: Reg,
+        v: bool,
+    },
+    SplatV {
+        dst: Reg,
+        v: Value,
+    },
+    /// Wrapping integer Add/Sub/Mul (the interpreter's `wrapping_*`).
+    ArithI {
+        sel: SelId,
+        op: BinOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    ArithF {
+        sel: SelId,
+        op: BinOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// Float division; a selected lane with divisor `0.0` aborts the batch.
+    DivF {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// Euclidean remainder; a selected lane with modulus 0 aborts the batch.
+    ModI {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// The `as_float` Int→Float coercion.
+    CastF {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+    },
+    NegI {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+    },
+    NegF {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+    },
+    NotB {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+    },
+    AbsI {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+    },
+    AbsF {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+    },
+    SqrtF {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+    },
+    MinMaxI {
+        sel: SelId,
+        min: bool,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// Float min/max via `total_cmp`, matching `Value`'s total order.
+    MinMaxF {
+        sel: SelId,
+        min: bool,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// `HashOf` over a typed column — hashes the equivalent `Value`, so the
+    /// result is bit-identical to the interpreter's.
+    HashI {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+    },
+    HashF {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+    },
+    HashB {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+    },
+    CmpI {
+        sel: SelId,
+        op: BinOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// Float comparison: Eq/Ne via `Value`'s `float_key` equality (NaNs
+    /// equal, ±0 equal), ordering via `total_cmp`.
+    CmpF {
+        sel: SelId,
+        op: BinOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    CmpB {
+        sel: SelId,
+        op: BinOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// Strict And (`and: true`) / Or over bool columns.
+    BoolB {
+        sel: SelId,
+        and: bool,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// Structured `If`: split the parent selection by a condition column
+    /// into the lanes taking each branch.
+    SelSplit {
+        parent: SelId,
+        cond: Reg,
+        then_sel: SelId,
+        else_sel: SelId,
+    },
+    /// Merge the two branch results of an `If` back into one column.
+    MergeI {
+        dst: Reg,
+        ts: SelId,
+        t: Reg,
+        es: SelId,
+        e: Reg,
+    },
+    MergeF {
+        dst: Reg,
+        ts: SelId,
+        t: Reg,
+        es: SelId,
+        e: Reg,
+    },
+    MergeB {
+        dst: Reg,
+        ts: SelId,
+        t: Reg,
+        es: SelId,
+        e: Reg,
+    },
+    MergeV {
+        dst: Reg,
+        ts: SelId,
+        t: Reg,
+        es: SelId,
+        e: Reg,
+    },
+    /// End of a fused `Filter` stage: keep the lanes whose predicate holds.
+    FilterApply {
+        parent: SelId,
+        pred: Reg,
+        dst: SelId,
+    },
+}
+
+/// A typed column reference on the abstract stack during specialization.
+#[derive(Clone, Debug)]
+enum VVal {
+    I(Reg),
+    F(Reg),
+    B(Reg),
+    V(Reg),
+    Tup(Vec<VVal>),
+    /// A not-yet-loaded input component; loads are emitted lazily on first
+    /// use (and memoized), so untouched fields cost nothing per batch.
+    Arg {
+        path: Vec<usize>,
+        shape: Shape,
+    },
+}
+
+/// A resolved (register-backed) column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TR {
+    I(Reg),
+    F(Reg),
+    B(Reg),
+    V(Reg),
+}
+
+fn tr_val(tr: TR) -> VVal {
+    match tr {
+        TR::I(r) => VVal::I(r),
+        TR::F(r) => VVal::F(r),
+        TR::B(r) => VVal::B(r),
+        TR::V(r) => VVal::V(r),
+    }
+}
+
+/// Recipe for materializing output rows from columns.
+#[derive(Clone, Debug)]
+enum MatNode {
+    I(Reg),
+    F(Reg),
+    B(Reg),
+    V(Reg),
+    Tup(Vec<MatNode>),
+}
+
+#[derive(Clone, Debug)]
+enum OutSpec {
+    /// Build each output row from columns (the chain contains a Map).
+    Rows(MatNode),
+    /// Filter-only chain: output is the surviving input rows, cloned —
+    /// exactly what the scalar filter pushes (`Arc` sharing preserved).
+    PassThrough,
+}
+
+/// One stage of a vectorizable chain, borrowed from the engine's prepared
+/// operators: the compiled slot program plus its bound capture slots.
+pub enum VecStageSpec<'a> {
+    /// A Map-like stage (also a fold's per-element `sng` function).
+    Map(&'a CompiledEval, &'a [Option<Value>]),
+    /// A Filter stage; its program must statically produce `Bool`.
+    Filter(&'a CompiledEval, &'a [Option<Value>]),
+}
+
+/// A fully-specialized columnar program for one operator (or one fused
+/// Map/Filter chain). Immutable and shareable across worker threads; each
+/// task evaluates it with its own [`VectorScratch`].
+#[derive(Clone, Debug)]
+pub struct VectorPipeline {
+    instrs: Vec<VInstr>,
+    n_i: usize,
+    n_f: usize,
+    n_b: usize,
+    n_v: usize,
+    n_sels: usize,
+    /// Selection active at each stage's entry (drives the engine's
+    /// per-stage row counts).
+    stage_sels: Vec<SelId>,
+    out_sel: SelId,
+    out: OutSpec,
+}
+
+/// Reusable per-task columnar scratch: typed register files plus selection
+/// vectors, grown once and reused across every batch a task evaluates.
+#[derive(Debug)]
+pub struct VectorScratch {
+    i: Vec<Vec<i64>>,
+    f: Vec<Vec<f64>>,
+    b: Vec<Vec<bool>>,
+    v: Vec<Vec<Value>>,
+    sels: Vec<Vec<u32>>,
+}
+
+// ----------------------------------------------------------- type inference
+
+/// Statically types a chain of compiled slot programs against a sample
+/// input row, lowering every opcode to column kernels. Returns `None` as
+/// soon as any opcode is not specializable; the chain is then evaluated by
+/// the scalar tier (which is always correct) and reported as a fallback.
+///
+/// Purely a function of the programs, their bound captures, and the sample
+/// row's *shape* — so given deterministic data, specialization decisions
+/// replay identically across runs, thread counts, and dispatch modes.
+pub fn specialize(stages: &[VecStageSpec<'_>], sample: &Value) -> Option<VectorPipeline> {
+    let mut b = Builder {
+        n_sels: 1, // sel 0 = the full batch
+        ..Builder::default()
+    };
+    let mut cur = VVal::Arg {
+        path: Vec::new(),
+        shape: shape_of(sample),
+    };
+    let mut sel: SelId = 0;
+    let mut stage_sels = Vec::with_capacity(stages.len());
+    let mut any_map = false;
+    for spec in stages {
+        stage_sels.push(sel);
+        match spec {
+            VecStageSpec::Map(code, caps) => {
+                if code.arity != 1 {
+                    return None;
+                }
+                cur = b.eval_code(&code.code.ops, caps, &cur, sel)?;
+                any_map = true;
+            }
+            VecStageSpec::Filter(code, caps) => {
+                if code.arity != 1 {
+                    return None;
+                }
+                let p = b.eval_code(&code.code.ops, caps, &cur, sel)?;
+                // The scalar filter applies `as_bool` to the result; a
+                // non-Bool static type errors on every row — let the
+                // scalar tier produce that error.
+                let pred = match b.resolve(p)? {
+                    TR::B(r) => r,
+                    _ => return None,
+                };
+                let dst = b.new_sel();
+                b.instrs.push(VInstr::FilterApply {
+                    parent: sel,
+                    pred,
+                    dst,
+                });
+                sel = dst;
+            }
+        }
+    }
+    let out = if any_map {
+        OutSpec::Rows(b.mat_node(cur)?)
+    } else {
+        OutSpec::PassThrough
+    };
+    Some(VectorPipeline {
+        instrs: b.instrs,
+        n_i: b.n_i,
+        n_f: b.n_f,
+        n_b: b.n_b,
+        n_v: b.n_v,
+        n_sels: b.n_sels,
+        stage_sels,
+        out_sel: sel,
+        out,
+    })
+}
+
+#[derive(Default)]
+struct Builder {
+    instrs: Vec<VInstr>,
+    n_i: usize,
+    n_f: usize,
+    n_b: usize,
+    n_v: usize,
+    n_sels: usize,
+    /// Selection the currently-lowered expression evaluates under (branch
+    /// bodies narrow it); every compute kernel is tagged with it.
+    cur_sel: SelId,
+    /// Loads memoized by field path, so a component is loaded (and shape-
+    /// checked) once per batch however often the programs reference it.
+    loads: HashMap<Vec<usize>, TR>,
+}
+
+impl Builder {
+    fn new_i(&mut self) -> Reg {
+        self.n_i += 1;
+        self.n_i - 1
+    }
+    fn new_f(&mut self) -> Reg {
+        self.n_f += 1;
+        self.n_f - 1
+    }
+    fn new_b(&mut self) -> Reg {
+        self.n_b += 1;
+        self.n_b - 1
+    }
+    fn new_v(&mut self) -> Reg {
+        self.n_v += 1;
+        self.n_v - 1
+    }
+    fn new_sel(&mut self) -> SelId {
+        self.n_sels += 1;
+        self.n_sels - 1
+    }
+
+    /// Abstractly evaluates a compiled program; `None` = not specializable.
+    fn eval_code(
+        &mut self,
+        ops: &[Op],
+        caps: &[Option<Value>],
+        input: &VVal,
+        sel: SelId,
+    ) -> Option<VVal> {
+        self.eval_range(ops, 0..ops.len(), caps, input, sel)
+    }
+
+    fn eval_range(
+        &mut self,
+        ops: &[Op],
+        range: Range<usize>,
+        caps: &[Option<Value>],
+        input: &VVal,
+        sel: SelId,
+    ) -> Option<VVal> {
+        self.cur_sel = sel;
+        let mut stack: Vec<VVal> = Vec::new();
+        let mut pc = range.start;
+        while pc < range.end {
+            match &ops[pc] {
+                Op::Const(v) => stack.push(self.splat(v)?),
+                // A statically failing program errors on every row it
+                // evaluates — the scalar fallback reproduces it per row.
+                Op::Fail(_) => return None,
+                Op::Local(slot) => {
+                    if *slot != 0 {
+                        return None;
+                    }
+                    stack.push(input.clone());
+                }
+                Op::Capture(c) => match &caps[*c] {
+                    Some(v) => stack.push(self.splat(v)?),
+                    // An unbound capture errors whenever read; fall back.
+                    None => return None,
+                },
+                Op::Field(i) => {
+                    let v = stack.pop()?;
+                    stack.push(self.field(v, *i)?);
+                }
+                Op::Bin(op) => {
+                    let r = stack.pop()?;
+                    let l = stack.pop()?;
+                    stack.push(self.bin(*op, l, r)?);
+                }
+                Op::Un(op) => {
+                    let a = stack.pop()?;
+                    stack.push(self.un(*op, a)?);
+                }
+                Op::Call(f, n) => {
+                    let at = stack.len().checked_sub(*n)?;
+                    let args: Vec<VVal> = stack.drain(at..).collect();
+                    stack.push(self.call(*f, args)?);
+                }
+                Op::Tuple(n) => {
+                    let at = stack.len().checked_sub(*n)?;
+                    let fs: Vec<VVal> = stack.drain(at..).collect();
+                    stack.push(VVal::Tup(fs));
+                }
+                Op::JumpIfFalse(else_at) => {
+                    // Recover the structured `If` the compiler emitted:
+                    // [cond] JumpIfFalse(e) [then] Jump(end) [else@e..end].
+                    let else_at = *else_at;
+                    if else_at < pc + 2 || else_at > range.end {
+                        return None;
+                    }
+                    let end = match &ops[else_at - 1] {
+                        Op::Jump(end) if *end >= else_at && *end <= range.end => *end,
+                        _ => return None,
+                    };
+                    let cond = match self.resolve(stack.pop()?)? {
+                        TR::B(r) => r,
+                        // Non-Bool condition: `as_bool` errors per row.
+                        _ => return None,
+                    };
+                    let then_sel = self.new_sel();
+                    let else_sel = self.new_sel();
+                    self.instrs.push(VInstr::SelSplit {
+                        parent: sel,
+                        cond,
+                        then_sel,
+                        else_sel,
+                    });
+                    // Each branch's kernels run only over its own lanes, so
+                    // an error in the untaken branch of a lane cannot fire.
+                    let t = self.eval_range(ops, pc + 1..else_at - 1, caps, input, then_sel)?;
+                    let e = self.eval_range(ops, else_at..end, caps, input, else_sel)?;
+                    self.cur_sel = sel;
+                    stack.push(self.merge(t, e, then_sel, else_sel)?);
+                    pc = end;
+                    continue;
+                }
+                // Bare jumps only occur inside an `If` (consumed above).
+                Op::Jump(_) => return None,
+                // Nested folds and bag construction stay scalar.
+                Op::Fold(_) | Op::MkBag(_) => return None,
+            }
+            pc += 1;
+        }
+        if stack.len() == 1 {
+            stack.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Broadcasts a constant (folded literal or bound capture) into columns.
+    fn splat(&mut self, v: &Value) -> Option<VVal> {
+        Some(match v {
+            Value::Int(i) => {
+                let dst = self.new_i();
+                self.instrs.push(VInstr::SplatI { dst, v: *i });
+                VVal::I(dst)
+            }
+            Value::Float(f) => {
+                let dst = self.new_f();
+                self.instrs.push(VInstr::SplatF { dst, v: *f });
+                VVal::F(dst)
+            }
+            Value::Bool(b) => {
+                let dst = self.new_b();
+                self.instrs.push(VInstr::SplatB { dst, v: *b });
+                VVal::B(dst)
+            }
+            Value::Tuple(fs) => {
+                let mut parts = Vec::with_capacity(fs.len());
+                for f in fs.iter() {
+                    parts.push(self.splat(f)?);
+                }
+                VVal::Tup(parts)
+            }
+            // Opaque pass-through (Null, Str, Vector, Bag): usable only in
+            // output tuples, never as a kernel operand.
+            other => {
+                let dst = self.new_v();
+                self.instrs.push(VInstr::SplatV {
+                    dst,
+                    v: other.clone(),
+                });
+                VVal::V(dst)
+            }
+        })
+    }
+
+    fn field(&mut self, v: VVal, i: usize) -> Option<VVal> {
+        match v {
+            VVal::Tup(mut fs) => {
+                if i < fs.len() {
+                    Some(fs.swap_remove(i))
+                } else {
+                    None // out of range: errors per row; scalar reproduces
+                }
+            }
+            VVal::Arg { path, shape } => match shape {
+                Shape::Tuple(mut fs) if i < fs.len() => {
+                    let mut p = path;
+                    p.push(i);
+                    Some(VVal::Arg {
+                        path: p,
+                        shape: fs.swap_remove(i),
+                    })
+                }
+                _ => None,
+            },
+            // Field access on a non-tuple errors per row.
+            _ => None,
+        }
+    }
+
+    /// Resolves an abstract value to a concrete column register, emitting a
+    /// (memoized) load for input components. Whole-tuple values have no
+    /// single register — callers that need one reject instead.
+    fn resolve(&mut self, v: VVal) -> Option<TR> {
+        match v {
+            VVal::I(r) => Some(TR::I(r)),
+            VVal::F(r) => Some(TR::F(r)),
+            VVal::B(r) => Some(TR::B(r)),
+            VVal::V(r) => Some(TR::V(r)),
+            VVal::Tup(_) => None,
+            VVal::Arg { path, shape } => {
+                if let Some(tr) = self.loads.get(&path) {
+                    return Some(*tr);
+                }
+                let tr = match shape {
+                    Shape::I64 => {
+                        let dst = self.new_i();
+                        self.instrs.push(VInstr::LoadI {
+                            dst,
+                            path: path.clone(),
+                        });
+                        TR::I(dst)
+                    }
+                    Shape::F64 => {
+                        let dst = self.new_f();
+                        self.instrs.push(VInstr::LoadF {
+                            dst,
+                            path: path.clone(),
+                        });
+                        TR::F(dst)
+                    }
+                    Shape::Bool => {
+                        let dst = self.new_b();
+                        self.instrs.push(VInstr::LoadB {
+                            dst,
+                            path: path.clone(),
+                        });
+                        TR::B(dst)
+                    }
+                    Shape::Other => {
+                        let dst = self.new_v();
+                        self.instrs.push(VInstr::LoadV {
+                            dst,
+                            path: path.clone(),
+                        });
+                        TR::V(dst)
+                    }
+                    Shape::Tuple(_) => return None,
+                };
+                self.loads.insert(path, tr);
+                Some(tr)
+            }
+        }
+    }
+
+    /// Resolves to a float column, coercing Int→Float where the scalar
+    /// semantics would (`as_float`).
+    fn resolve_f(&mut self, v: VVal) -> Option<Reg> {
+        match self.resolve(v)? {
+            TR::F(r) => Some(r),
+            TR::I(r) => {
+                let dst = self.new_f();
+                self.instrs.push(VInstr::CastF {
+                    sel: self.cur_sel,
+                    dst,
+                    a: r,
+                });
+                Some(dst)
+            }
+            _ => None,
+        }
+    }
+
+    fn bin(&mut self, op: BinOp, l: VVal, r: VVal) -> Option<VVal> {
+        use BinOp::*;
+        let sel = self.cur_sel;
+        match op {
+            Add | Sub | Mul => {
+                let (lt, rt) = (self.resolve(l)?, self.resolve(r)?);
+                match (lt, rt) {
+                    (TR::I(a), TR::I(b)) => {
+                        let dst = self.new_i();
+                        self.instrs.push(VInstr::ArithI { sel, op, dst, a, b });
+                        Some(VVal::I(dst))
+                    }
+                    (TR::I(_) | TR::F(_), TR::I(_) | TR::F(_)) => {
+                        let a = self.resolve_f(tr_val(lt))?;
+                        let b = self.resolve_f(tr_val(rt))?;
+                        let dst = self.new_f();
+                        self.instrs.push(VInstr::ArithF { sel, op, dst, a, b });
+                        Some(VVal::F(dst))
+                    }
+                    // Vector arithmetic, strings, etc. stay scalar.
+                    _ => None,
+                }
+            }
+            Div => {
+                // Vector/scalar division stays scalar: resolve_f rejects
+                // non-numeric columns.
+                let a = self.resolve_f(l)?;
+                let b = self.resolve_f(r)?;
+                let dst = self.new_f();
+                self.instrs.push(VInstr::DivF { sel, dst, a, b });
+                Some(VVal::F(dst))
+            }
+            Mod => match (self.resolve(l)?, self.resolve(r)?) {
+                (TR::I(a), TR::I(b)) => {
+                    let dst = self.new_i();
+                    self.instrs.push(VInstr::ModI { sel, dst, a, b });
+                    Some(VVal::I(dst))
+                }
+                // `Mod` is strict on Int (`as_int`): anything else errors.
+                _ => None,
+            },
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let (lt, rt) = (self.resolve(l)?, self.resolve(r)?);
+                match (lt, rt) {
+                    (TR::I(a), TR::I(b)) => {
+                        let dst = self.new_b();
+                        self.instrs.push(VInstr::CmpI { sel, op, dst, a, b });
+                        Some(VVal::B(dst))
+                    }
+                    (TR::I(_) | TR::F(_), TR::I(_) | TR::F(_)) => {
+                        // Mixed Int/Float comparison coerces through f64,
+                        // matching `Value`'s cross-type order.
+                        let a = self.resolve_f(tr_val(lt))?;
+                        let b = self.resolve_f(tr_val(rt))?;
+                        let dst = self.new_b();
+                        self.instrs.push(VInstr::CmpF { sel, op, dst, a, b });
+                        Some(VVal::B(dst))
+                    }
+                    (TR::B(a), TR::B(b)) => {
+                        let dst = self.new_b();
+                        self.instrs.push(VInstr::CmpB { sel, op, dst, a, b });
+                        Some(VVal::B(dst))
+                    }
+                    // Cross-rank comparisons (and tuple/string equality)
+                    // stay scalar.
+                    _ => None,
+                }
+            }
+            And | Or => match (self.resolve(l)?, self.resolve(r)?) {
+                (TR::B(a), TR::B(b)) => {
+                    let dst = self.new_b();
+                    self.instrs.push(VInstr::BoolB {
+                        sel,
+                        and: matches!(op, And),
+                        dst,
+                        a,
+                        b,
+                    });
+                    Some(VVal::B(dst))
+                }
+                _ => None,
+            },
+        }
+    }
+
+    fn un(&mut self, op: UnOp, a: VVal) -> Option<VVal> {
+        let sel = self.cur_sel;
+        match (op, self.resolve(a)?) {
+            (UnOp::Not, TR::B(a)) => {
+                let dst = self.new_b();
+                self.instrs.push(VInstr::NotB { sel, dst, a });
+                Some(VVal::B(dst))
+            }
+            (UnOp::Neg, TR::I(a)) => {
+                let dst = self.new_i();
+                self.instrs.push(VInstr::NegI { sel, dst, a });
+                Some(VVal::I(dst))
+            }
+            (UnOp::Neg, TR::F(a)) => {
+                let dst = self.new_f();
+                self.instrs.push(VInstr::NegF { sel, dst, a });
+                Some(VVal::F(dst))
+            }
+            _ => None,
+        }
+    }
+
+    fn call(&mut self, f: BuiltinFn, mut args: Vec<VVal>) -> Option<VVal> {
+        let sel = self.cur_sel;
+        match f {
+            BuiltinFn::Sqrt => {
+                let a = self.resolve_f(args.pop()?)?;
+                let dst = self.new_f();
+                self.instrs.push(VInstr::SqrtF { sel, dst, a });
+                Some(VVal::F(dst))
+            }
+            BuiltinFn::Abs => match self.resolve(args.pop()?)? {
+                TR::I(a) => {
+                    let dst = self.new_i();
+                    self.instrs.push(VInstr::AbsI { sel, dst, a });
+                    Some(VVal::I(dst))
+                }
+                TR::F(a) => {
+                    let dst = self.new_f();
+                    self.instrs.push(VInstr::AbsF { sel, dst, a });
+                    Some(VVal::F(dst))
+                }
+                _ => None,
+            },
+            BuiltinFn::MinOf | BuiltinFn::MaxOf => {
+                let r = args.pop()?;
+                let l = args.pop()?;
+                let min = matches!(f, BuiltinFn::MinOf);
+                match (self.resolve(l)?, self.resolve(r)?) {
+                    (TR::I(a), TR::I(b)) => {
+                        let dst = self.new_i();
+                        self.instrs.push(VInstr::MinMaxI {
+                            sel,
+                            min,
+                            dst,
+                            a,
+                            b,
+                        });
+                        Some(VVal::I(dst))
+                    }
+                    (TR::F(a), TR::F(b)) => {
+                        let dst = self.new_f();
+                        self.instrs.push(VInstr::MinMaxF {
+                            sel,
+                            min,
+                            dst,
+                            a,
+                            b,
+                        });
+                        Some(VVal::F(dst))
+                    }
+                    // Mixed Int/Float min/max picks one operand verbatim —
+                    // a mixed-type output column; Null-as-unit likewise.
+                    _ => None,
+                }
+            }
+            BuiltinFn::HashOf => {
+                let dst = self.new_i();
+                match self.resolve(args.pop()?)? {
+                    TR::I(a) => self.instrs.push(VInstr::HashI { sel, dst, a }),
+                    TR::F(a) => self.instrs.push(VInstr::HashF { sel, dst, a }),
+                    TR::B(a) => self.instrs.push(VInstr::HashB { sel, dst, a }),
+                    _ => return None,
+                }
+                Some(VVal::I(dst))
+            }
+            // String and vector builtins stay scalar.
+            _ => None,
+        }
+    }
+
+    /// Merges two branch results into one column per leaf.
+    fn merge(&mut self, t: VVal, e: VVal, ts: SelId, es: SelId) -> Option<VVal> {
+        match (t, e) {
+            (VVal::Tup(tf), VVal::Tup(ef)) if tf.len() == ef.len() => {
+                let mut out = Vec::with_capacity(tf.len());
+                for (a, b) in tf.into_iter().zip(ef) {
+                    out.push(self.merge(a, b, ts, es)?);
+                }
+                Some(VVal::Tup(out))
+            }
+            (t, e) => {
+                let (tr, er) = (self.resolve(t)?, self.resolve(e)?);
+                if tr == er {
+                    // Both branches yield the same column (e.g. the same
+                    // input field): no merge needed.
+                    return Some(tr_val(tr));
+                }
+                match (tr, er) {
+                    (TR::I(t), TR::I(e)) => {
+                        let dst = self.new_i();
+                        self.instrs.push(VInstr::MergeI { dst, ts, t, es, e });
+                        Some(VVal::I(dst))
+                    }
+                    (TR::F(t), TR::F(e)) => {
+                        let dst = self.new_f();
+                        self.instrs.push(VInstr::MergeF { dst, ts, t, es, e });
+                        Some(VVal::F(dst))
+                    }
+                    (TR::B(t), TR::B(e)) => {
+                        let dst = self.new_b();
+                        self.instrs.push(VInstr::MergeB { dst, ts, t, es, e });
+                        Some(VVal::B(dst))
+                    }
+                    (TR::V(t), TR::V(e)) => {
+                        let dst = self.new_v();
+                        self.instrs.push(VInstr::MergeV { dst, ts, t, es, e });
+                        Some(VVal::V(dst))
+                    }
+                    // Branches of different static types would produce a
+                    // mixed-type column.
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Output-row materialization recipe for the final abstract value.
+    fn mat_node(&mut self, v: VVal) -> Option<MatNode> {
+        match v {
+            VVal::Tup(fs) => {
+                let mut out = Vec::with_capacity(fs.len());
+                for f in fs {
+                    out.push(self.mat_node(f)?);
+                }
+                Some(MatNode::Tup(out))
+            }
+            VVal::Arg {
+                path,
+                shape: Shape::Tuple(fs),
+            } => {
+                let mut out = Vec::with_capacity(fs.len());
+                for (i, fshape) in fs.into_iter().enumerate() {
+                    let mut p = path.clone();
+                    p.push(i);
+                    out.push(self.mat_node(VVal::Arg {
+                        path: p,
+                        shape: fshape,
+                    })?);
+                }
+                Some(MatNode::Tup(out))
+            }
+            v => Some(match self.resolve(v)? {
+                TR::I(r) => MatNode::I(r),
+                TR::F(r) => MatNode::F(r),
+                TR::B(r) => MatNode::B(r),
+                TR::V(r) => MatNode::V(r),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- execution
+
+fn hash_value(v: &Value) -> i64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    (h.finish() & 0x7fff_ffff_ffff_ffff) as i64
+}
+
+fn cmp_holds(op: BinOp, o: Ordering) -> bool {
+    match op {
+        BinOp::Eq => o == Ordering::Equal,
+        BinOp::Ne => o != Ordering::Equal,
+        BinOp::Lt => o == Ordering::Less,
+        BinOp::Le => o != Ordering::Greater,
+        BinOp::Gt => o == Ordering::Greater,
+        BinOp::Ge => o != Ordering::Less,
+        _ => unreachable!("comparison kernels carry comparison ops"),
+    }
+}
+
+fn ensure<T: Copy + Default>(col: &mut Vec<T>, n: usize) {
+    if col.len() < n {
+        col.resize(n, T::default());
+    }
+}
+
+fn ensure_v(col: &mut Vec<Value>, n: usize) {
+    if col.len() < n {
+        col.resize(n, Value::Null);
+    }
+}
+
+impl VectorPipeline {
+    /// Number of fused stages this program covers.
+    pub fn n_stages(&self) -> usize {
+        self.stage_sels.len()
+    }
+
+    /// Fresh per-task scratch buffers for this program.
+    pub fn new_scratch(&self) -> VectorScratch {
+        VectorScratch {
+            i: vec![Vec::new(); self.n_i],
+            f: vec![Vec::new(); self.n_f],
+            b: vec![Vec::new(); self.n_b],
+            v: vec![Vec::new(); self.n_v],
+            sels: vec![Vec::new(); self.n_sels],
+        }
+    }
+
+    /// Evaluates one batch of input rows through every fused stage.
+    ///
+    /// On success: appends output rows to `out`, adds each stage's entry
+    /// row count plus the output count to `counts` (length
+    /// `n_stages() + 1`), and returns `true`.
+    ///
+    /// Returns `false` — with `counts` and `out` untouched — when the batch
+    /// cannot be evaluated columnar-exactly: a row does not conform to the
+    /// specialized input shape, or a selected lane hits a runtime error
+    /// (division/modulo by zero). The caller must then evaluate the same
+    /// batch row-at-a-time through the scalar tier, which reproduces values
+    /// and the first error in evaluation order bit-identically.
+    pub fn run_batch(
+        &self,
+        rows: &[Value],
+        s: &mut VectorScratch,
+        counts: &mut [u64],
+        out: &mut Vec<Value>,
+    ) -> bool {
+        let n = rows.len();
+        debug_assert!(n <= u32::MAX as usize, "batch exceeds lane index width");
+        debug_assert_eq!(counts.len(), self.stage_sels.len() + 1);
+        s.sels[0].clear();
+        s.sels[0].extend(0..n as u32);
+        for instr in &self.instrs {
+            if !step(instr, rows, s, n) {
+                return false;
+            }
+        }
+        for (i, &sid) in self.stage_sels.iter().enumerate() {
+            counts[i] += s.sels[sid].len() as u64;
+        }
+        counts[self.stage_sels.len()] += s.sels[self.out_sel].len() as u64;
+        match &self.out {
+            OutSpec::PassThrough => {
+                out.extend(
+                    s.sels[self.out_sel]
+                        .iter()
+                        .map(|&l| rows[l as usize].clone()),
+                );
+            }
+            OutSpec::Rows(m) => {
+                out.reserve(s.sels[self.out_sel].len());
+                for idx in 0..s.sels[self.out_sel].len() {
+                    let l = s.sels[self.out_sel][idx] as usize;
+                    out.push(mat_value(m, s, l));
+                }
+            }
+        }
+        true
+    }
+}
+
+fn mat_value(m: &MatNode, s: &VectorScratch, l: usize) -> Value {
+    match m {
+        MatNode::I(r) => Value::Int(s.i[*r][l]),
+        MatNode::F(r) => Value::Float(s.f[*r][l]),
+        MatNode::B(r) => Value::Bool(s.b[*r][l]),
+        MatNode::V(r) => s.v[*r][l].clone(),
+        MatNode::Tup(fs) => Value::tuple(fs.iter().map(|f| mat_value(f, s, l)).collect::<Vec<_>>()),
+    }
+}
+
+/// Executes one kernel; `false` aborts the batch (shape mismatch or a
+/// runtime error on a selected lane). Binary kernels whose destination
+/// shares a register file with their operands temporarily move the
+/// destination column out — the builder is single-assignment, so `dst`
+/// never aliases `a`/`b`.
+fn step(instr: &VInstr, rows: &[Value], s: &mut VectorScratch, n: usize) -> bool {
+    use VInstr::*;
+    match instr {
+        LoadI { dst, path } => {
+            let mut d = std::mem::take(&mut s.i[*dst]);
+            d.clear();
+            d.reserve(n);
+            let mut ok = true;
+            for row in rows {
+                match path_get(row, path) {
+                    Some(Value::Int(v)) => d.push(*v),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            s.i[*dst] = d;
+            return ok;
+        }
+        LoadF { dst, path } => {
+            let mut d = std::mem::take(&mut s.f[*dst]);
+            d.clear();
+            d.reserve(n);
+            let mut ok = true;
+            for row in rows {
+                match path_get(row, path) {
+                    Some(Value::Float(v)) => d.push(*v),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            s.f[*dst] = d;
+            return ok;
+        }
+        LoadB { dst, path } => {
+            let mut d = std::mem::take(&mut s.b[*dst]);
+            d.clear();
+            d.reserve(n);
+            let mut ok = true;
+            for row in rows {
+                match path_get(row, path) {
+                    Some(Value::Bool(v)) => d.push(*v),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            s.b[*dst] = d;
+            return ok;
+        }
+        LoadV { dst, path } => {
+            let mut d = std::mem::take(&mut s.v[*dst]);
+            d.clear();
+            d.reserve(n);
+            let mut ok = true;
+            for row in rows {
+                match path_get(row, path) {
+                    Some(v) => d.push(v.clone()),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            s.v[*dst] = d;
+            return ok;
+        }
+        SplatI { dst, v } => {
+            let d = &mut s.i[*dst];
+            d.clear();
+            d.resize(n, *v);
+        }
+        SplatF { dst, v } => {
+            let d = &mut s.f[*dst];
+            d.clear();
+            d.resize(n, *v);
+        }
+        SplatB { dst, v } => {
+            let d = &mut s.b[*dst];
+            d.clear();
+            d.resize(n, *v);
+        }
+        SplatV { dst, v } => {
+            let d = &mut s.v[*dst];
+            d.clear();
+            d.resize(n, v.clone());
+        }
+        ArithI { sel, op, dst, a, b } => {
+            let mut d = std::mem::take(&mut s.i[*dst]);
+            ensure(&mut d, n);
+            let (a, b) = (&s.i[*a], &s.i[*b]);
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                d[l] = match op {
+                    BinOp::Add => a[l].wrapping_add(b[l]),
+                    BinOp::Sub => a[l].wrapping_sub(b[l]),
+                    _ => a[l].wrapping_mul(b[l]),
+                };
+            }
+            s.i[*dst] = d;
+        }
+        ArithF { sel, op, dst, a, b } => {
+            let mut d = std::mem::take(&mut s.f[*dst]);
+            ensure(&mut d, n);
+            let (a, b) = (&s.f[*a], &s.f[*b]);
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                d[l] = match op {
+                    BinOp::Add => a[l] + b[l],
+                    BinOp::Sub => a[l] - b[l],
+                    _ => a[l] * b[l],
+                };
+            }
+            s.f[*dst] = d;
+        }
+        DivF { sel, dst, a, b } => {
+            let mut d = std::mem::take(&mut s.f[*dst]);
+            ensure(&mut d, n);
+            let mut ok = true;
+            {
+                let (a, b) = (&s.f[*a], &s.f[*b]);
+                for &l in &s.sels[*sel] {
+                    let l = l as usize;
+                    if b[l] == 0.0 {
+                        ok = false;
+                        break;
+                    }
+                    d[l] = a[l] / b[l];
+                }
+            }
+            s.f[*dst] = d;
+            return ok;
+        }
+        ModI { sel, dst, a, b } => {
+            let mut d = std::mem::take(&mut s.i[*dst]);
+            ensure(&mut d, n);
+            let mut ok = true;
+            {
+                let (a, b) = (&s.i[*a], &s.i[*b]);
+                for &l in &s.sels[*sel] {
+                    let l = l as usize;
+                    if b[l] == 0 {
+                        ok = false;
+                        break;
+                    }
+                    d[l] = a[l].rem_euclid(b[l]);
+                }
+            }
+            s.i[*dst] = d;
+            return ok;
+        }
+        CastF { sel, dst, a } => {
+            ensure(&mut s.f[*dst], n);
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                s.f[*dst][l] = s.i[*a][l] as f64;
+            }
+        }
+        NegI { sel, dst, a } => {
+            let mut d = std::mem::take(&mut s.i[*dst]);
+            ensure(&mut d, n);
+            let a = &s.i[*a];
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                // Plain (non-wrapping) negation, matching the scalar tier.
+                d[l] = -a[l];
+            }
+            s.i[*dst] = d;
+        }
+        NegF { sel, dst, a } => {
+            let mut d = std::mem::take(&mut s.f[*dst]);
+            ensure(&mut d, n);
+            let a = &s.f[*a];
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                d[l] = -a[l];
+            }
+            s.f[*dst] = d;
+        }
+        NotB { sel, dst, a } => {
+            let mut d = std::mem::take(&mut s.b[*dst]);
+            ensure(&mut d, n);
+            let a = &s.b[*a];
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                d[l] = !a[l];
+            }
+            s.b[*dst] = d;
+        }
+        AbsI { sel, dst, a } => {
+            let mut d = std::mem::take(&mut s.i[*dst]);
+            ensure(&mut d, n);
+            let a = &s.i[*a];
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                d[l] = a[l].abs();
+            }
+            s.i[*dst] = d;
+        }
+        AbsF { sel, dst, a } => {
+            let mut d = std::mem::take(&mut s.f[*dst]);
+            ensure(&mut d, n);
+            let a = &s.f[*a];
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                d[l] = a[l].abs();
+            }
+            s.f[*dst] = d;
+        }
+        SqrtF { sel, dst, a } => {
+            let mut d = std::mem::take(&mut s.f[*dst]);
+            ensure(&mut d, n);
+            let a = &s.f[*a];
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                d[l] = a[l].sqrt();
+            }
+            s.f[*dst] = d;
+        }
+        MinMaxI {
+            sel,
+            min,
+            dst,
+            a,
+            b,
+        } => {
+            let mut d = std::mem::take(&mut s.i[*dst]);
+            ensure(&mut d, n);
+            let (a, b) = (&s.i[*a], &s.i[*b]);
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                d[l] = if *min { a[l].min(b[l]) } else { a[l].max(b[l]) };
+            }
+            s.i[*dst] = d;
+        }
+        MinMaxF {
+            sel,
+            min,
+            dst,
+            a,
+            b,
+        } => {
+            let mut d = std::mem::take(&mut s.f[*dst]);
+            ensure(&mut d, n);
+            let (a, b) = (&s.f[*a], &s.f[*b]);
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                // `min_of(a, b)` is `if a <= b { a } else { b }` under the
+                // total order; `max_of` is `if a >= b { a } else { b }`.
+                let o = a[l].total_cmp(&b[l]);
+                d[l] = if *min {
+                    if o != Ordering::Greater {
+                        a[l]
+                    } else {
+                        b[l]
+                    }
+                } else if o != Ordering::Less {
+                    a[l]
+                } else {
+                    b[l]
+                };
+            }
+            s.f[*dst] = d;
+        }
+        HashI { sel, dst, a } => {
+            let mut d = std::mem::take(&mut s.i[*dst]);
+            ensure(&mut d, n);
+            let a = &s.i[*a];
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                d[l] = hash_value(&Value::Int(a[l]));
+            }
+            s.i[*dst] = d;
+        }
+        HashF { sel, dst, a } => {
+            ensure(&mut s.i[*dst], n);
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                s.i[*dst][l] = hash_value(&Value::Float(s.f[*a][l]));
+            }
+        }
+        HashB { sel, dst, a } => {
+            ensure(&mut s.i[*dst], n);
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                s.i[*dst][l] = hash_value(&Value::Bool(s.b[*a][l]));
+            }
+        }
+        CmpI { sel, op, dst, a, b } => {
+            ensure(&mut s.b[*dst], n);
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                s.b[*dst][l] = cmp_holds(*op, s.i[*a][l].cmp(&s.i[*b][l]));
+            }
+        }
+        CmpF { sel, op, dst, a, b } => {
+            ensure(&mut s.b[*dst], n);
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                let (x, y) = (s.f[*a][l], s.f[*b][l]);
+                s.b[*dst][l] = match op {
+                    // Value equality on floats goes through `float_key`
+                    // (all NaNs equal, ±0 equal) — not `total_cmp`.
+                    BinOp::Eq => Value::Float(x) == Value::Float(y),
+                    BinOp::Ne => Value::Float(x) != Value::Float(y),
+                    _ => cmp_holds(*op, x.total_cmp(&y)),
+                };
+            }
+        }
+        CmpB { sel, op, dst, a, b } => {
+            let mut d = std::mem::take(&mut s.b[*dst]);
+            ensure(&mut d, n);
+            let (a, b) = (&s.b[*a], &s.b[*b]);
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                d[l] = cmp_holds(*op, a[l].cmp(&b[l]));
+            }
+            s.b[*dst] = d;
+        }
+        BoolB {
+            sel,
+            and,
+            dst,
+            a,
+            b,
+        } => {
+            let mut d = std::mem::take(&mut s.b[*dst]);
+            ensure(&mut d, n);
+            let (a, b) = (&s.b[*a], &s.b[*b]);
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                d[l] = if *and { a[l] && b[l] } else { a[l] || b[l] };
+            }
+            s.b[*dst] = d;
+        }
+        SelSplit {
+            parent,
+            cond,
+            then_sel,
+            else_sel,
+        } => {
+            let mut ts = std::mem::take(&mut s.sels[*then_sel]);
+            let mut es = std::mem::take(&mut s.sels[*else_sel]);
+            ts.clear();
+            es.clear();
+            let cond = &s.b[*cond];
+            for &l in &s.sels[*parent] {
+                if cond[l as usize] {
+                    ts.push(l);
+                } else {
+                    es.push(l);
+                }
+            }
+            s.sels[*then_sel] = ts;
+            s.sels[*else_sel] = es;
+        }
+        MergeI { dst, ts, t, es, e } => {
+            let mut d = std::mem::take(&mut s.i[*dst]);
+            ensure(&mut d, n);
+            for &l in &s.sels[*ts] {
+                d[l as usize] = s.i[*t][l as usize];
+            }
+            for &l in &s.sels[*es] {
+                d[l as usize] = s.i[*e][l as usize];
+            }
+            s.i[*dst] = d;
+        }
+        MergeF { dst, ts, t, es, e } => {
+            let mut d = std::mem::take(&mut s.f[*dst]);
+            ensure(&mut d, n);
+            for &l in &s.sels[*ts] {
+                d[l as usize] = s.f[*t][l as usize];
+            }
+            for &l in &s.sels[*es] {
+                d[l as usize] = s.f[*e][l as usize];
+            }
+            s.f[*dst] = d;
+        }
+        MergeB { dst, ts, t, es, e } => {
+            let mut d = std::mem::take(&mut s.b[*dst]);
+            ensure(&mut d, n);
+            for &l in &s.sels[*ts] {
+                d[l as usize] = s.b[*t][l as usize];
+            }
+            for &l in &s.sels[*es] {
+                d[l as usize] = s.b[*e][l as usize];
+            }
+            s.b[*dst] = d;
+        }
+        MergeV { dst, ts, t, es, e } => {
+            let mut d = std::mem::take(&mut s.v[*dst]);
+            ensure_v(&mut d, n);
+            for &l in &s.sels[*ts] {
+                d[l as usize] = s.v[*t][l as usize].clone();
+            }
+            for &l in &s.sels[*es] {
+                d[l as usize] = s.v[*e][l as usize].clone();
+            }
+            s.v[*dst] = d;
+        }
+        FilterApply { parent, pred, dst } => {
+            let mut d = std::mem::take(&mut s.sels[*dst]);
+            d.clear();
+            let pred = &s.b[*pred];
+            for &l in &s.sels[*parent] {
+                if pred[l as usize] {
+                    d.push(l);
+                }
+            }
+            s.sels[*dst] = d;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::{compile_lambda, Machine};
+    use crate::expr::{Lambda, ScalarExpr};
+    use crate::interp::Catalog;
+
+    fn se_bin(op: BinOp, l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::BinOp(op, Box::new(l), Box::new(r))
+    }
+
+    fn se_field(e: ScalarExpr, i: usize) -> ScalarExpr {
+        ScalarExpr::Field(Box::new(e), i)
+    }
+
+    fn x0() -> ScalarExpr {
+        se_field(ScalarExpr::var("x"), 0)
+    }
+
+    fn x1() -> ScalarExpr {
+        se_field(ScalarExpr::var("x"), 1)
+    }
+
+    /// Runs one specialized Map over `rows` and compares every output
+    /// against the scalar tier.
+    fn check_map(lam: &Lambda, rows: &[Value]) {
+        let code = compile_lambda(lam);
+        let caps = code.bind(&HashMap::new());
+        let catalog = Catalog::new();
+        let vp = specialize(&[VecStageSpec::Map(&code, &caps)], &rows[0])
+            .expect("expected specializable program");
+        let mut scratch = vp.new_scratch();
+        let mut counts = vec![0u64; 2];
+        let mut out = Vec::new();
+        assert!(vp.run_batch(rows, &mut scratch, &mut counts, &mut out));
+        assert_eq!(counts, vec![rows.len() as u64; 2]);
+        let mut m = Machine::new();
+        for (row, got) in rows.iter().zip(&out) {
+            let want = code
+                .eval(std::slice::from_ref(row), &caps, &mut m, &catalog)
+                .expect("scalar tier errored where vector tier succeeded");
+            assert_eq!(&want, got, "row {row:?}");
+        }
+    }
+
+    fn int_pair_rows(n: i64) -> Vec<Value> {
+        (0..n)
+            .map(|i| Value::tuple(vec![Value::Int(i), Value::Int(i * 3 - 7)]))
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic_map_matches_scalar() {
+        // (x.0 * 2 + x.1 % 7, hash_of(x.0), min_of(x.0, x.1))
+        let lam = Lambda::new(
+            ["x"],
+            ScalarExpr::Tuple(vec![
+                se_bin(
+                    BinOp::Add,
+                    se_bin(BinOp::Mul, x0(), ScalarExpr::lit(Value::Int(2))),
+                    se_bin(BinOp::Mod, x1(), ScalarExpr::lit(Value::Int(7))),
+                ),
+                ScalarExpr::call(BuiltinFn::HashOf, vec![x0()]),
+                ScalarExpr::call(BuiltinFn::MinOf, vec![x0(), x1()]),
+            ]),
+        );
+        check_map(&lam, &int_pair_rows(100));
+    }
+
+    #[test]
+    fn float_kernels_match_scalar() {
+        // sqrt(abs(x.0 - x.1)) / (x.0 * x.0 + 1.5)  over float pairs
+        let lam = Lambda::new(
+            ["x"],
+            se_bin(
+                BinOp::Div,
+                ScalarExpr::call(
+                    BuiltinFn::Sqrt,
+                    vec![ScalarExpr::call(
+                        BuiltinFn::Abs,
+                        vec![se_bin(BinOp::Sub, x0(), x1())],
+                    )],
+                ),
+                se_bin(
+                    BinOp::Add,
+                    se_bin(BinOp::Mul, x0(), x0()),
+                    ScalarExpr::lit(Value::Float(1.5)),
+                ),
+            ),
+        );
+        let rows: Vec<Value> = (0..64)
+            .map(|i| {
+                Value::tuple(vec![
+                    Value::Float(i as f64 * 0.25 - 3.0),
+                    Value::Float(10.0 - i as f64),
+                ])
+            })
+            .collect();
+        check_map(&lam, &rows);
+    }
+
+    #[test]
+    fn wrapping_overflow_matches_scalar() {
+        let lam = Lambda::new(["x"], se_bin(BinOp::Mul, x0(), x0()));
+        let rows = vec![
+            Value::tuple(vec![Value::Int(i64::MAX), Value::Int(0)]),
+            Value::tuple(vec![Value::Int(i64::MIN / 3), Value::Int(0)]),
+        ];
+        check_map(&lam, &rows);
+    }
+
+    #[test]
+    fn mixed_int_float_comparison_matches_scalar() {
+        // if x.0 < x.1 { x.0 * 2 } else { -x.0 }  with Int x.0, Float x.1
+        let lam = Lambda::new(
+            ["x"],
+            ScalarExpr::If(
+                Box::new(se_bin(BinOp::Lt, x0(), x1())),
+                Box::new(se_bin(BinOp::Mul, x0(), ScalarExpr::lit(Value::Int(2)))),
+                Box::new(ScalarExpr::UnOp(UnOp::Neg, Box::new(x0()))),
+            ),
+        );
+        let rows: Vec<Value> = (0..50)
+            .map(|i| Value::tuple(vec![Value::Int(i - 25), Value::Float(0.5 * i as f64 - 9.0)]))
+            .collect();
+        check_map(&lam, &rows);
+    }
+
+    #[test]
+    fn if_selection_masks_untaken_branch_errors() {
+        // if x.1 == 0.0 { 0.0 } else { x.0 / x.1 } — rows with x.1 == 0.0
+        // must NOT abort the batch: the division kernel runs only over the
+        // else-branch lanes.
+        let lam = Lambda::new(
+            ["x"],
+            ScalarExpr::If(
+                Box::new(se_bin(BinOp::Eq, x1(), ScalarExpr::lit(Value::Float(0.0)))),
+                Box::new(ScalarExpr::lit(Value::Float(0.0))),
+                Box::new(se_bin(BinOp::Div, x0(), x1())),
+            ),
+        );
+        let rows: Vec<Value> = (0..40)
+            .map(|i| {
+                Value::tuple(vec![
+                    Value::Float(i as f64),
+                    Value::Float(if i % 5 == 0 { 0.0 } else { i as f64 - 20.0 }),
+                ])
+            })
+            .collect();
+        check_map(&lam, &rows);
+    }
+
+    #[test]
+    fn division_error_aborts_batch_untouched() {
+        let lam = Lambda::new(["x"], se_bin(BinOp::Div, x0(), x1()));
+        let code = compile_lambda(&lam);
+        let caps = code.bind(&HashMap::new());
+        let vp = specialize(
+            &[VecStageSpec::Map(&code, &caps)],
+            &Value::tuple(vec![Value::Float(1.0), Value::Float(1.0)]),
+        )
+        .unwrap();
+        let rows = vec![
+            Value::tuple(vec![Value::Float(1.0), Value::Float(2.0)]),
+            Value::tuple(vec![Value::Float(1.0), Value::Float(0.0)]),
+        ];
+        let mut scratch = vp.new_scratch();
+        let mut counts = vec![0u64; 2];
+        let mut out = Vec::new();
+        assert!(!vp.run_batch(&rows, &mut scratch, &mut counts, &mut out));
+        assert_eq!(counts, vec![0, 0], "counts untouched on abort");
+        assert!(out.is_empty(), "output untouched on abort");
+        // The same scratch still works on a clean batch afterwards.
+        let clean = vec![Value::tuple(vec![Value::Float(9.0), Value::Float(3.0)])];
+        assert!(vp.run_batch(&clean, &mut scratch, &mut counts, &mut out));
+        assert_eq!(out, vec![Value::Float(3.0)]);
+    }
+
+    #[test]
+    fn shape_mismatch_aborts_batch() {
+        let lam = Lambda::new(
+            ["x"],
+            se_bin(BinOp::Add, x0(), ScalarExpr::lit(Value::Int(1))),
+        );
+        let code = compile_lambda(&lam);
+        let caps = code.bind(&HashMap::new());
+        let vp = specialize(
+            &[VecStageSpec::Map(&code, &caps)],
+            &Value::tuple(vec![Value::Int(0), Value::Int(0)]),
+        )
+        .unwrap();
+        let rows = vec![
+            Value::tuple(vec![Value::Int(1), Value::Int(2)]),
+            Value::tuple(vec![Value::Float(1.0), Value::Int(2)]), // wrong shape
+        ];
+        let mut scratch = vp.new_scratch();
+        let mut counts = vec![0u64; 2];
+        let mut out = Vec::new();
+        assert!(!vp.run_batch(&rows, &mut scratch, &mut counts, &mut out));
+        assert_eq!(counts, vec![0, 0]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn filter_chain_narrows_selection_and_passes_rows_through() {
+        // filter (x.0 % 2 == 0) — PassThrough output, counts reflect the
+        // narrowed selection.
+        let lam = Lambda::new(
+            ["x"],
+            se_bin(
+                BinOp::Eq,
+                se_bin(BinOp::Mod, x0(), ScalarExpr::lit(Value::Int(2))),
+                ScalarExpr::lit(Value::Int(0)),
+            ),
+        );
+        let code = compile_lambda(&lam);
+        let caps = code.bind(&HashMap::new());
+        let rows = int_pair_rows(31);
+        let vp = specialize(&[VecStageSpec::Filter(&code, &caps)], &rows[0]).unwrap();
+        let mut scratch = vp.new_scratch();
+        let mut counts = vec![0u64; 2];
+        let mut out = Vec::new();
+        assert!(vp.run_batch(&rows, &mut scratch, &mut counts, &mut out));
+        let want: Vec<Value> = rows
+            .iter()
+            .filter(|r| match r {
+                Value::Tuple(fs) => matches!(fs[0], Value::Int(i) if i % 2 == 0),
+                _ => unreachable!(),
+            })
+            .cloned()
+            .collect();
+        assert_eq!(out, want);
+        assert_eq!(counts, vec![31, 16]);
+    }
+
+    #[test]
+    fn fused_map_filter_map_matches_scalar_loop() {
+        let m1 = Lambda::new(
+            ["x"],
+            ScalarExpr::Tuple(vec![
+                se_bin(BinOp::Add, x0(), x1()),
+                se_bin(BinOp::Sub, x0(), x1()),
+            ]),
+        );
+        let f = Lambda::new(["y"], {
+            let y0 = se_field(ScalarExpr::var("y"), 0);
+            se_bin(BinOp::Gt, y0, ScalarExpr::lit(Value::Int(10)))
+        });
+        let m2 = Lambda::new(["z"], {
+            let z0 = se_field(ScalarExpr::var("z"), 0);
+            let z1 = se_field(ScalarExpr::var("z"), 1);
+            se_bin(BinOp::Mul, z0, z1)
+        });
+        let (c1, c2, c3) = (compile_lambda(&m1), compile_lambda(&f), compile_lambda(&m2));
+        let base = HashMap::new();
+        let (b1, b2, b3) = (c1.bind(&base), c2.bind(&base), c3.bind(&base));
+        let rows = int_pair_rows(200);
+        let vp = specialize(
+            &[
+                VecStageSpec::Map(&c1, &b1),
+                VecStageSpec::Filter(&c2, &b2),
+                VecStageSpec::Map(&c3, &b3),
+            ],
+            &rows[0],
+        )
+        .unwrap();
+        assert_eq!(vp.n_stages(), 3);
+        let mut scratch = vp.new_scratch();
+        let mut counts = vec![0u64; 4];
+        let mut out = Vec::new();
+        assert!(vp.run_batch(&rows, &mut scratch, &mut counts, &mut out));
+        // Scalar reference: the same chain row-at-a-time.
+        let catalog = Catalog::new();
+        let mut m = Machine::new();
+        let mut want = Vec::new();
+        let mut want_counts = vec![0u64; 4];
+        for row in &rows {
+            want_counts[0] += 1;
+            let v1 = c1
+                .eval(std::slice::from_ref(row), &b1, &mut m, &catalog)
+                .unwrap();
+            want_counts[1] += 1;
+            let keep = c2
+                .eval(std::slice::from_ref(&v1), &b2, &mut m, &catalog)
+                .unwrap();
+            if !matches!(keep, Value::Bool(true)) {
+                continue;
+            }
+            want_counts[2] += 1;
+            want.push(
+                c3.eval(std::slice::from_ref(&v1), &b3, &mut m, &catalog)
+                    .unwrap(),
+            );
+            want_counts[3] += 1;
+        }
+        assert_eq!(out, want);
+        assert_eq!(counts, want_counts);
+    }
+
+    #[test]
+    fn captures_are_splatted() {
+        let lam = Lambda::new(["x"], se_bin(BinOp::Mul, x0(), ScalarExpr::var("scale")));
+        let code = compile_lambda(&lam);
+        let mut base = HashMap::new();
+        base.insert("scale".to_string(), Value::Int(17));
+        let caps = code.bind(&base);
+        let rows = int_pair_rows(10);
+        let vp = specialize(&[VecStageSpec::Map(&code, &caps)], &rows[0]).unwrap();
+        let mut scratch = vp.new_scratch();
+        let mut counts = vec![0u64; 2];
+        let mut out = Vec::new();
+        assert!(vp.run_batch(&rows, &mut scratch, &mut counts, &mut out));
+        assert_eq!(out[3], Value::Int(51));
+    }
+
+    #[test]
+    fn non_specializable_programs_are_rejected() {
+        let sample = Value::tuple(vec![Value::Int(0), Value::Int(0)]);
+        let base = HashMap::new();
+        // String builtin.
+        let s = compile_lambda(&Lambda::new(
+            ["x"],
+            ScalarExpr::call(BuiltinFn::StrLen, vec![x0()]),
+        ));
+        let sc = s.bind(&base);
+        assert!(specialize(&[VecStageSpec::Map(&s, &sc)], &sample).is_none());
+        // Unbound capture.
+        let u = compile_lambda(&Lambda::new(["x"], ScalarExpr::var("missing")));
+        let uc = u.bind(&base);
+        assert!(specialize(&[VecStageSpec::Map(&u, &uc)], &sample).is_none());
+        // Two-parameter lambda (fold `uni`): not a single-input stage.
+        let two = compile_lambda(&Lambda::new(
+            ["a", "b"],
+            se_bin(BinOp::Add, ScalarExpr::var("a"), ScalarExpr::var("b")),
+        ));
+        let tc = two.bind(&base);
+        assert!(specialize(&[VecStageSpec::Map(&two, &tc)], &sample).is_none());
+        // Non-Bool filter result.
+        let nb = compile_lambda(&Lambda::new(["x"], x0()));
+        let nc = nb.bind(&base);
+        assert!(specialize(&[VecStageSpec::Filter(&nb, &nc)], &sample).is_none());
+        // Non-tuple sample shape for a field access.
+        let fa = compile_lambda(&Lambda::new(["x"], x0()));
+        let fc = fa.bind(&base);
+        assert!(specialize(&[VecStageSpec::Map(&fa, &fc)], &Value::Int(3)).is_none());
+    }
+
+    #[test]
+    fn float_eq_uses_value_equality_not_total_order() {
+        // -0.0 == 0.0 under Value equality (float_key), and NaN == NaN.
+        let lam = Lambda::new(["x"], se_bin(BinOp::Eq, x0(), x1()));
+        let rows = vec![
+            Value::tuple(vec![Value::Float(-0.0), Value::Float(0.0)]),
+            Value::tuple(vec![Value::Float(f64::NAN), Value::Float(f64::NAN)]),
+            Value::tuple(vec![Value::Float(1.0), Value::Float(2.0)]),
+        ];
+        check_map(&lam, &rows);
+    }
+}

@@ -1,12 +1,18 @@
-//! Differential property tests: the slot-based compiled evaluators
-//! ([`emma_compiler::compiled`]) must agree with the reference interpreter
-//! ([`emma_compiler::interp`]) on *every* expression — same `Value` on
-//! success, same `ValueError` on failure. The interpreter is the executable
-//! specification; this suite throws randomly generated (and mostly
-//! ill-typed) expression trees at both tiers and demands bit-for-bit equal
-//! `Result`s, covering the error paths hand-written tests rarely reach:
-//! type mismatches, division by zero, out-of-range field access, unbound
-//! variables, and shadowing through fold binders.
+//! Differential property tests across all three evaluation tiers: the
+//! slot-based compiled evaluators ([`emma_compiler::compiled`]) must agree
+//! with the reference interpreter ([`emma_compiler::interp`]) on *every*
+//! expression — same `Value` on success, same `ValueError` on failure — and
+//! the vectorized batch tier ([`emma_compiler::vectorized`]) must agree
+//! with the scalar compiled tier on every batch it accepts. The interpreter
+//! is the executable specification; this suite throws randomly generated
+//! (and mostly ill-typed) expression trees at the tiers and demands
+//! bit-for-bit equal `Result`s, covering the error paths hand-written
+//! tests rarely reach: type mismatches, division by zero, out-of-range
+//! field access, unbound variables, and shadowing through fold binders.
+//! For the vectorized tier the contract is *soundness*: a batch either
+//! evaluates columnar-exactly (identical rows, identical per-stage counts)
+//! or aborts with its outputs untouched so the caller can replay it
+//! row-at-a-time — reproducing the first error in evaluation order.
 
 use std::collections::HashMap;
 
@@ -15,6 +21,7 @@ use emma_compiler::compiled::{compile_bag_body, compile_lambda, Machine};
 use emma_compiler::expr::{BuiltinFn, FoldOp, Lambda, ScalarExpr};
 use emma_compiler::interp::{self, Catalog, Env};
 use emma_compiler::value::{Value, ValueError};
+use emma_compiler::vectorized::{specialize, VecStageSpec};
 use proptest::prelude::*;
 
 /// Variable pool the generator draws from. `x`/`y` are lambda parameters,
@@ -144,6 +151,117 @@ fn assert_tiers_agree(lam: &Lambda, args: &[Value]) -> Result<(), TestCaseError>
     Ok(())
 }
 
+/// Runs a single Map/Filter stage over `rows` through the vectorized tier
+/// (when it specializes on the first row) and checks its soundness contract
+/// against the scalar compiled tier:
+///
+/// * `run_batch` returned `true` → every row's scalar evaluation is `Ok`,
+///   the batch output reproduces the scalar results bit-for-bit, and the
+///   per-stage counts equal what the scalar loop would have counted;
+/// * `run_batch` returned `false` → `counts` and `out` are untouched, so
+///   the caller's row-at-a-time replay starts from a clean slate.
+///
+/// Also re-runs the same batch on the same scratch, since the engine reuses
+/// scratch buffers across batches within a task.
+fn assert_vectorized_sound(
+    lam: &Lambda,
+    rows: &[Value],
+    filter: bool,
+) -> Result<(), TestCaseError> {
+    let base = base_scope();
+    let catalog = Catalog::new().with("xs", (0..6).map(Value::Int).collect::<Vec<_>>());
+
+    let compiled = compile_lambda(lam);
+    let caps = compiled.bind(&base);
+    let stage = if filter {
+        VecStageSpec::Filter(&compiled, &caps)
+    } else {
+        VecStageSpec::Map(&compiled, &caps)
+    };
+    // Most generated programs are not specializable; that is the scalar
+    // tier's job and is not a soundness question.
+    let Some(vp) = specialize(&[stage], &rows[0]) else {
+        return Ok(());
+    };
+
+    // Scalar reference, row at a time, on a reused machine — exactly what
+    // the engine's fallback replay does.
+    let mut m = Machine::new();
+    let scalar: Vec<Result<Value, ValueError>> = rows
+        .iter()
+        .map(|r| compiled.eval(std::slice::from_ref(r), &caps, &mut m, &catalog))
+        .collect();
+
+    let mut scratch = vp.new_scratch();
+    let mut counts = vec![0u64; vp.n_stages() + 1];
+    let mut out = Vec::new();
+    let ok = vp.run_batch(rows, &mut scratch, &mut counts, &mut out);
+
+    if !ok {
+        prop_assert!(out.is_empty(), "aborted batch must leave output untouched");
+        prop_assert!(
+            counts.iter().all(|&c| c == 0),
+            "aborted batch must leave counts untouched"
+        );
+        return Ok(());
+    }
+
+    let n = rows.len() as u64;
+    if filter {
+        let mut kept = Vec::new();
+        for (row, res) in rows.iter().zip(&scalar) {
+            match res {
+                Ok(Value::Bool(true)) => kept.push(row.clone()),
+                Ok(Value::Bool(false)) => {}
+                other => prop_assert!(
+                    false,
+                    "vectorized filter accepted a batch whose scalar predicate \
+                     yields {:?} on {:?}",
+                    other,
+                    row
+                ),
+            }
+        }
+        prop_assert_eq!(&out, &kept, "filter output diverges from scalar keep-set");
+        prop_assert_eq!(
+            &counts,
+            &vec![n, kept.len() as u64],
+            "filter counts diverge from scalar loop"
+        );
+    } else {
+        let mut want = Vec::new();
+        for (row, res) in rows.iter().zip(&scalar) {
+            match res {
+                Ok(v) => want.push(v.clone()),
+                Err(e) => prop_assert!(
+                    false,
+                    "vectorized map accepted a batch whose scalar evaluation \
+                     fails with {:?} on {:?}",
+                    e,
+                    row
+                ),
+            }
+        }
+        prop_assert_eq!(&out, &want, "map output diverges from scalar tier");
+        prop_assert_eq!(&counts, &vec![n, n], "map counts diverge from scalar loop");
+    }
+
+    // Scratch reuse: a second identical batch must append, not corrupt.
+    let ok2 = vp.run_batch(rows, &mut scratch, &mut counts, &mut out);
+    prop_assert!(ok2, "same batch must stay evaluable on reused scratch");
+    prop_assert_eq!(
+        out.len() as u64,
+        counts[vp.n_stages()],
+        "second batch must append the same output rows"
+    );
+    prop_assert_eq!(
+        &out[..out.len() / 2],
+        &out[out.len() / 2..],
+        "reused scratch must not perturb results"
+    );
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -186,4 +304,111 @@ proptest! {
 
         prop_assert_eq!(want, got, "bag tier divergence on {:?}", body);
     }
+
+    #[test]
+    fn vectorized_map_matches_scalar_tiers(
+        body in expr_strategy(),
+        rows in prop::collection::vec(value_strategy(), 1..12),
+    ) {
+        let lam = Lambda::new(["x"], body);
+        assert_vectorized_sound(&lam, &rows, false)?;
+    }
+
+    #[test]
+    fn vectorized_filter_matches_scalar_tiers(
+        body in expr_strategy(),
+        rows in prop::collection::vec(value_strategy(), 1..12),
+    ) {
+        let lam = Lambda::new(["x"], body);
+        assert_vectorized_sound(&lam, &rows, true)?;
+    }
+
+    // Same-shaped numeric tuples specialize far more often than fully
+    // random values, so this variant drives the kernels (not just the
+    // shape-mismatch abort) and the branch-masking machinery hard.
+    #[test]
+    fn vectorized_map_matches_scalar_tiers_on_homogeneous_batches(
+        body in expr_strategy(),
+        rows in prop::collection::vec(
+            ((-8i64..=8), prop_oneof![Just(-2.5f64), Just(0.0), Just(1.5)], any::<bool>())
+                .prop_map(|(i, f, b)| Value::tuple(vec![
+                    Value::Int(i), Value::Float(f), Value::Bool(b),
+                ])),
+            1..24,
+        ),
+    ) {
+        let lam = Lambda::new(["x"], body);
+        assert_vectorized_sound(&lam, &rows, false)?;
+    }
+}
+
+/// The engine replays an aborted batch row-at-a-time through the scalar
+/// tier. This must surface the first error *in evaluation order*: the error
+/// of the earliest erroring row — not the error raised by the textually
+/// earliest instruction anywhere in the batch. Here row 0 fails late in its
+/// program (`%` by zero) while row 1 fails early (`/` by zero); the
+/// replayed error must be row 0's.
+#[test]
+fn batch_abort_replay_reproduces_first_error_in_row_order() {
+    let x = || ScalarExpr::var("x");
+    let body = x().get(0).div(x().get(1)).add(x().get(2).rem(x().get(3)));
+    let lam = Lambda::new(["x"], body);
+
+    let rows = vec![
+        // div fine (1.0 / 2.0), rem errors (1 % 0): fails at the later op.
+        Value::tuple(vec![
+            Value::Float(1.0),
+            Value::Float(2.0),
+            Value::Int(1),
+            Value::Int(0),
+        ]),
+        // div errors (1.0 / 0.0): fails at the earlier op.
+        Value::tuple(vec![
+            Value::Float(1.0),
+            Value::Float(0.0),
+            Value::Int(1),
+            Value::Int(2),
+        ]),
+    ];
+
+    let base = base_scope();
+    let catalog = Catalog::new();
+    let compiled = compile_lambda(&lam);
+    let caps = compiled.bind(&base);
+    let vp = specialize(&[VecStageSpec::Map(&compiled, &caps)], &rows[0])
+        .expect("float/int arithmetic over a numeric tuple must specialize");
+
+    let mut scratch = vp.new_scratch();
+    let mut counts = vec![0u64; vp.n_stages() + 1];
+    let mut out = Vec::new();
+    assert!(
+        !vp.run_batch(&rows, &mut scratch, &mut counts, &mut out),
+        "a selected erroring lane must abort the batch"
+    );
+    assert!(out.is_empty() && counts.iter().all(|&c| c == 0));
+
+    // Row-at-a-time replay, as the engine performs it.
+    let mut m = Machine::new();
+    let replayed = rows
+        .iter()
+        .map(|r| compiled.eval(std::slice::from_ref(r), &caps, &mut m, &catalog))
+        .collect::<Result<Vec<_>, _>>()
+        .expect_err("replay must surface an error");
+    let row0_alone = compiled
+        .eval(
+            std::slice::from_ref(&rows[0]),
+            &caps,
+            &mut Machine::new(),
+            &catalog,
+        )
+        .expect_err("row 0 errors on its own");
+    assert_eq!(
+        replayed, row0_alone,
+        "replay must report the earliest erroring *row*, not the earliest \
+         erroring instruction in the batch"
+    );
+    assert!(
+        matches!(&replayed, ValueError::Arithmetic(m) if m.contains("modulo")),
+        "row 0 fails at the modulo, got {replayed:?}"
+    );
 }

@@ -24,6 +24,7 @@ use emma_compiler::interp::{self, Catalog, Env};
 use emma_compiler::pipeline::{AuxDef, CRValue, CStmt, CompiledProgram};
 use emma_compiler::plan::{JoinKind, JoinStrategy, Plan, SkewEligibility};
 use emma_compiler::value::{Value, ValueError};
+use emma_compiler::vectorized::{self, BatchConfig, VecStageSpec, VectorPipeline};
 
 use emma_compiler::plan::PipelineStage;
 
@@ -162,6 +163,12 @@ pub struct Engine {
     /// consults partition sizes and leaves every counter bit-identical to an
     /// engine without the feature.
     pub skew: Option<SkewConfig>,
+    /// Opt-in vectorized batch evaluation of fully type-specializable UDF
+    /// bodies; `None` (the default) never consults the batch tier and leaves
+    /// every counter bit-identical to an engine without the feature. Only
+    /// takes effect when the program runs the compiled tier
+    /// (`CompiledProgram::compiled_eval`).
+    pub vectorized: Option<BatchConfig>,
 }
 
 /// Default for [`Engine::parallelism_threshold`]: below this many rows the
@@ -182,6 +189,7 @@ impl Engine {
             faults: None,
             checkpoints: None,
             skew: None,
+            vectorized: None,
         }
     }
 
@@ -258,6 +266,27 @@ impl Engine {
         self
     }
 
+    /// Enables the vectorized batch-evaluation tier: fully
+    /// type-specializable Map/Filter/Fold-element bodies (and fused
+    /// Map/Filter pipelines) are lowered to typed `i64`/`f64`/`bool` column
+    /// kernels and evaluated over reusable scratch buffers in batches of
+    /// `cfg.batch_rows` rows; every operator whose program resists static
+    /// typing falls back to the scalar compiled tier and is counted in
+    /// [`ExecStats::vector_fallbacks`] — no silent slow paths. Rows, errors,
+    /// and error order are preserved exactly: a batch that produces any
+    /// error (or does not conform to the specialized input shape) is re-run
+    /// row-at-a-time through the scalar tier, so the first error in
+    /// evaluation order reproduces bit-identically. Specialization is
+    /// decided on the driver from the first row of the first non-empty input
+    /// partition, so fallback counts replay bit-identically across thread
+    /// counts and dispatch modes. Off by default — without a config the
+    /// batch tier is never consulted and every counter stays bit-identical
+    /// to an engine without the feature.
+    pub fn with_vectorized_eval(mut self, cfg: BatchConfig) -> Self {
+        self.vectorized = Some(cfg);
+        self
+    }
+
     /// Runs a compiled program to completion.
     ///
     /// Execution happens on a dedicated thread with a large stack: deep
@@ -303,6 +332,15 @@ impl Engine {
                 self.parallelism_threshold,
             ),
             compiled: prog.compiled_eval,
+            // The batch tier sits on top of the compiled tier: active only
+            // when compiled evaluation is, from either the engine knob or
+            // the program flag (knob wins on batch size).
+            vectorized: if prog.compiled_eval {
+                self.vectorized
+                    .or_else(|| prog.vectorized_eval.then(BatchConfig::default))
+            } else {
+                None
+            },
             lam_cache: HashMap::new(),
             bag_cache: HashMap::new(),
             task_sites: 0,
@@ -400,6 +438,30 @@ impl<'p> PreparedScalar<'p> {
             }
             (PreparedScalar::Compiled { code, caps }, EvCtx::Machine(m)) => {
                 code.eval(args, caps, m, catalog)
+            }
+            _ => unreachable!("context built by a different evaluation tier"),
+        }
+    }
+
+    /// Applies the UDF to argument values the caller owns, moving them into
+    /// the evaluator's slots ([`CompiledEval::eval_owned`]) instead of
+    /// cloning — skips per-row `Arc` refcount churn on the fused hot paths
+    /// that drain owned rows. The interpreter tier borrows as before.
+    fn call_owned<'b, const N: usize>(
+        &self,
+        args: [Value; N],
+        cx: &mut EvCtx<'b>,
+        catalog: &Catalog,
+    ) -> Result<Value, ValueError>
+    where
+        'p: 'b,
+    {
+        match (self, cx) {
+            (PreparedScalar::Interp { lam, .. }, EvCtx::Env(env)) => {
+                interp::eval_lambda(lam, &args, env, catalog)
+            }
+            (PreparedScalar::Compiled { code, caps }, EvCtx::Machine(m)) => {
+                code.eval_owned(args, caps, m, catalog)
             }
             _ => unreachable!("context built by a different evaluation tier"),
         }
@@ -502,6 +564,9 @@ struct Session<'a> {
     /// Whether UDFs run through slot-compiled evaluators
     /// ([`emma_compiler::compiled`]) instead of the reference interpreter.
     compiled: bool,
+    /// Active batch config for the vectorized columnar tier
+    /// ([`emma_compiler::vectorized`]); `None` = scalar tiers only.
+    vectorized: Option<BatchConfig>,
     /// Per-run compilation memo: each distinct lambda AST is lowered once,
     /// however many operator executions (loop iterations, re-forced thunks)
     /// evaluate it.
@@ -855,6 +920,35 @@ impl<'a> Session<'a> {
                 param,
                 body,
                 prefetch,
+            }
+        }
+    }
+
+    // ------------------------------------------------- vectorized batch tier
+
+    /// Attempts to specialize a chain of prepared Map/Filter stages for the
+    /// vectorized columnar tier. Returns the kernel program plus the batch
+    /// size on success; `None` — with the fallback counted — when the tier
+    /// is active but the chain resists static typing. Inactive tier and
+    /// empty input (no sample row to type against, nothing to evaluate
+    /// either way) return `None` without counting.
+    ///
+    /// Specialization runs on the driver against the first row of the first
+    /// non-empty partition — a deterministic choice, so the decision (and
+    /// `vector_fallbacks`) replays bit-identically across thread counts and
+    /// dispatch modes.
+    fn try_vectorize(
+        &mut self,
+        specs: &[VecStageSpec<'_>],
+        parts: &[Arc<Vec<Value>>],
+    ) -> Option<(VectorPipeline, usize)> {
+        let cfg = self.vectorized?;
+        let sample = parts.iter().find(|p| !p.is_empty()).map(|p| &p[0])?;
+        match vectorized::specialize(specs, sample) {
+            Some(vp) => Some((vp, cfg.batch_rows)),
+            None => {
+                self.stats.vector_fallbacks += 1;
+                None
             }
         }
     }
@@ -1237,12 +1331,38 @@ impl<'a> Session<'a> {
                 self.charge_broadcast_scans(&f.body, &base, d.max_part_rows())?;
                 let f_prep = self.prepare_lambda(f, &base);
                 let catalog = self.catalog;
-                let parts = self.run_task_rows(&d.parts, d.total_rows(), |rows| {
-                    let mut cx = f_prep.ctx(&base);
-                    rows.iter()
-                        .map(|row| f_prep.call(std::slice::from_ref(row), &mut cx, catalog))
-                        .collect()
-                })?;
+                let vec_run = match vec_spec(&f_prep, false) {
+                    Some(spec) => self.try_vectorize(&[spec], &d.parts),
+                    None => None,
+                };
+                let parts = if let Some((vp, batch_rows)) = vec_run {
+                    let stages = [PreparedStage::Map(f_prep)];
+                    let bases = std::slice::from_ref(&base);
+                    let results = self.run_tasks(false, d.parts.len(), d.total_rows(), |pi| {
+                        run_vectorized_partition(
+                            &d.parts[pi],
+                            &vp,
+                            batch_rows,
+                            &stages,
+                            bases,
+                            catalog,
+                        )
+                    })?;
+                    let mut parts = Vec::with_capacity(results.len());
+                    for (rows, _counts, nvec, nbatches) in results {
+                        self.stats.rows_vectorized += nvec;
+                        self.stats.batches_executed += nbatches;
+                        parts.push(Arc::new(rows));
+                    }
+                    parts
+                } else {
+                    self.run_task_rows(&d.parts, d.total_rows(), |rows| {
+                        let mut cx = f_prep.ctx(&base);
+                        rows.iter()
+                            .map(|row| f_prep.call(std::slice::from_ref(row), &mut cx, catalog))
+                            .collect()
+                    })?
+                };
                 self.charge_cpu_weighted(d.total_rows(), d.max_part_rows(), f.static_cost());
                 // Folds over *materialized group values* re-scan their data;
                 // folds over small per-record bags (e.g. a vertex's neighbor
@@ -1265,19 +1385,45 @@ impl<'a> Session<'a> {
                 self.charge_broadcast_scans(&p.body, &base, d.max_part_rows())?;
                 let p_prep = self.prepare_lambda(p, &base);
                 let catalog = self.catalog;
-                let parts = self.run_task_rows(&d.parts, d.total_rows(), |rows| {
-                    let mut cx = p_prep.ctx(&base);
-                    let mut out = Vec::new();
-                    for row in rows {
-                        if p_prep
-                            .call(std::slice::from_ref(row), &mut cx, catalog)?
-                            .as_bool()?
-                        {
-                            out.push(row.clone());
-                        }
+                let vec_run = match vec_spec(&p_prep, true) {
+                    Some(spec) => self.try_vectorize(&[spec], &d.parts),
+                    None => None,
+                };
+                let parts = if let Some((vp, batch_rows)) = vec_run {
+                    let stages = [PreparedStage::Filter(p_prep)];
+                    let bases = std::slice::from_ref(&base);
+                    let results = self.run_tasks(false, d.parts.len(), d.total_rows(), |pi| {
+                        run_vectorized_partition(
+                            &d.parts[pi],
+                            &vp,
+                            batch_rows,
+                            &stages,
+                            bases,
+                            catalog,
+                        )
+                    })?;
+                    let mut parts = Vec::with_capacity(results.len());
+                    for (rows, _counts, nvec, nbatches) in results {
+                        self.stats.rows_vectorized += nvec;
+                        self.stats.batches_executed += nbatches;
+                        parts.push(Arc::new(rows));
                     }
-                    Ok(out)
-                })?;
+                    parts
+                } else {
+                    self.run_task_rows(&d.parts, d.total_rows(), |rows| {
+                        let mut cx = p_prep.ctx(&base);
+                        let mut out = Vec::new();
+                        for row in rows {
+                            if p_prep
+                                .call(std::slice::from_ref(row), &mut cx, catalog)?
+                                .as_bool()?
+                            {
+                                out.push(row.clone());
+                            }
+                        }
+                        Ok(out)
+                    })?
+                };
                 self.charge_cpu_weighted(d.total_rows(), d.max_part_rows(), p.static_cost());
                 // Filters preserve the physical layout.
                 Ok(PlanResult::Bag(Partitioned {
@@ -1287,6 +1433,12 @@ impl<'a> Session<'a> {
             }
             Plan::FlatMap { input, param, body } => {
                 let d = self.exec_bag(input, env)?;
+                // Bag-producing bodies have no columnar form; with the batch
+                // tier on, report the fallback instead of silently staying
+                // scalar.
+                if self.vectorized.is_some() {
+                    self.stats.vector_fallbacks += 1;
+                }
                 let base = self.eval_base_for_bag_exprs(&[body], env)?;
                 let b_prep = self.prepare_bag(param, body, &base);
                 let catalog = self.catalog;
@@ -1326,24 +1478,53 @@ impl<'a> Session<'a> {
                     .map_err(ExecError::Eval)?;
                 let sng_prep = self.prepare_lambda(&fold.sng, &base);
                 let uni_prep = self.prepare_lambda(&fold.uni, &base);
-                // Fold each partition locally, ship partials, combine.
+                // Fold each partition locally, ship partials, combine. The
+                // element function is Map-shaped, so it can run columnar;
+                // the combiner chain is inherently sequential and stays
+                // scalar.
                 let catalog = self.catalog;
-                let partials = self.run_tasks(true, d.parts.len(), d.total_rows(), |pi| {
-                    let mut scx = sng_prep.ctx(&base);
-                    let mut ucx = uni_prep.ctx(&base);
-                    let mut acc = zero.clone();
-                    for row in d.parts[pi].iter() {
-                        let s = sng_prep.call(std::slice::from_ref(row), &mut scx, catalog)?;
-                        acc = uni_prep.call(&[acc, s], &mut ucx, catalog)?;
+                let vec_run = match vec_spec(&sng_prep, false) {
+                    Some(spec) => self.try_vectorize(&[spec], &d.parts),
+                    None => None,
+                };
+                let partials = if let Some((vp, batch_rows)) = vec_run {
+                    let results = self.run_tasks(true, d.parts.len(), d.total_rows(), |pi| {
+                        fold_vectorized_partition(
+                            &d.parts[pi],
+                            &vp,
+                            batch_rows,
+                            &sng_prep,
+                            &uni_prep,
+                            &base,
+                            zero.clone(),
+                            catalog,
+                        )
+                    })?;
+                    let mut partials = Vec::with_capacity(results.len());
+                    for (acc, nvec, nbatches) in results {
+                        self.stats.rows_vectorized += nvec;
+                        self.stats.batches_executed += nbatches;
+                        partials.push(acc);
                     }
-                    Ok(acc)
-                })?;
+                    partials
+                } else {
+                    self.run_tasks(true, d.parts.len(), d.total_rows(), |pi| {
+                        let mut scx = sng_prep.ctx(&base);
+                        let mut ucx = uni_prep.ctx(&base);
+                        let mut acc = zero.clone();
+                        for row in d.parts[pi].iter() {
+                            let s = sng_prep.call(std::slice::from_ref(row), &mut scx, catalog)?;
+                            acc = uni_prep.call_owned([acc, s], &mut ucx, catalog)?;
+                        }
+                        Ok(acc)
+                    })?
+                };
                 let partial_bytes: u64 = partials.iter().map(Value::approx_bytes).sum();
                 let mut acc = zero;
                 let mut ucx = uni_prep.ctx(&base);
                 for p in partials {
                     acc = uni_prep
-                        .call(&[acc, p], &mut ucx, self.catalog)
+                        .call_owned([acc, p], &mut ucx, self.catalog)
                         .map_err(ExecError::Eval)?;
                 }
                 self.stats.stages += 1;
@@ -1612,9 +1793,64 @@ impl<'a> Session<'a> {
                     need_bytes[i] = nested[i] > 0 && grouped[i];
                 }
                 let catalog = self.catalog;
-                let results = self.run_tasks(false, d.parts.len(), d.total_rows(), |pi| {
-                    run_pipeline_partition(&d.parts[pi], &prepared, &bases, catalog, &need_bytes)
-                })?;
+                let vec_run = if self.vectorized.is_none() {
+                    None
+                } else if prepared
+                    .iter()
+                    .any(|s| matches!(s, PreparedStage::FlatMap(_)))
+                    || need_bytes.iter().any(|b| *b)
+                {
+                    // FlatMap stages (bag-producing) and byte-sampled
+                    // intermediates (nested-bag-fold charges need per-row
+                    // sizes) have no columnar form — a visible fallback.
+                    self.stats.vector_fallbacks += 1;
+                    None
+                } else {
+                    let specs: Option<Vec<VecStageSpec>> = prepared
+                        .iter()
+                        .map(|s| match s {
+                            PreparedStage::Map(p) => vec_spec(p, false),
+                            PreparedStage::Filter(p) => vec_spec(p, true),
+                            PreparedStage::FlatMap(_) => None,
+                        })
+                        .collect();
+                    match specs {
+                        Some(specs) => self.try_vectorize(&specs, &d.parts),
+                        None => None,
+                    }
+                };
+                let results = if let Some((vp, batch_rows)) = vec_run {
+                    let vec_results =
+                        self.run_tasks(false, d.parts.len(), d.total_rows(), |pi| {
+                            run_vectorized_partition(
+                                &d.parts[pi],
+                                &vp,
+                                batch_rows,
+                                &prepared,
+                                &bases,
+                                catalog,
+                            )
+                        })?;
+                    let mut results = Vec::with_capacity(vec_results.len());
+                    for (rows, counts, nvec, nbatches) in vec_results {
+                        self.stats.rows_vectorized += nvec;
+                        self.stats.batches_executed += nbatches;
+                        // need_bytes is all-false here, so the byte column
+                        // the scalar pass would have produced is all zeros.
+                        results.push((rows, counts, vec![0u64; nstages + 1]));
+                    }
+                    results
+                } else {
+                    self.run_tasks(false, d.parts.len(), d.total_rows(), |pi| {
+                        run_pipeline_partition(
+                            &d.parts[pi],
+                            &prepared,
+                            &bases,
+                            catalog,
+                            &need_bytes,
+                        )
+                    })?
+                };
                 let mut parts = Vec::with_capacity(results.len());
                 let mut counts_total = vec![0u64; nstages + 1];
                 let mut counts_max = vec![0u64; nstages + 1];
@@ -2783,6 +3019,163 @@ fn consumes_grouped_rows(plan: &Plan) -> bool {
     }
 }
 
+/// The vectorized-tier view of a prepared Map/Filter stage: its compiled
+/// slot program plus bound capture slots. `None` for the interpreter tier
+/// (the batch tier requires compiled evaluation, so this is defensive).
+fn vec_spec<'s>(prep: &'s PreparedScalar<'_>, filter: bool) -> Option<VecStageSpec<'s>> {
+    match prep {
+        PreparedScalar::Compiled { code, caps } => Some(if filter {
+            VecStageSpec::Filter(code, caps)
+        } else {
+            VecStageSpec::Map(code, caps)
+        }),
+        PreparedScalar::Interp { .. } => None,
+    }
+}
+
+/// Runs a specialized columnar chain over one partition in batches of
+/// `batch_rows`, replaying any aborted batch (shape mismatch or a runtime
+/// error on a selected lane) row-at-a-time through the scalar stage chain —
+/// which reproduces values and the first error in evaluation order
+/// bit-identically. Returns the output rows, the per-stage entry counts
+/// (identical to the scalar pass's, whichever path each batch took), and
+/// the rows/batches that actually ran vectorized.
+fn run_vectorized_partition<'p, 'b>(
+    rows: &[Value],
+    vp: &VectorPipeline,
+    batch_rows: usize,
+    stages: &'b [PreparedStage<'p>],
+    bases: &'b [HashMap<String, Value>],
+    catalog: &Catalog,
+) -> Result<(Vec<Value>, Vec<u64>, u64, u64), ValueError>
+where
+    'p: 'b,
+{
+    let nstages = stages.len();
+    let mut scratch = vp.new_scratch();
+    let mut counts = vec![0u64; nstages + 1];
+    let mut bytes = vec![0u64; nstages + 1];
+    let need_bytes = vec![false; nstages + 1];
+    let mut out = Vec::new();
+    let (mut nvec, mut nbatches) = (0u64, 0u64);
+    // Scalar replay contexts are built lazily: a partition whose every
+    // batch vectorizes never allocates them.
+    let mut ctxs: Option<Vec<EvCtx<'b>>> = None;
+    for batch in rows.chunks(batch_rows.max(1)) {
+        if vp.run_batch(batch, &mut scratch, &mut counts, &mut out) {
+            nvec += batch.len() as u64;
+            nbatches += 1;
+        } else {
+            let ctxs = ctxs
+                .get_or_insert_with(|| stages.iter().zip(bases).map(|(s, b)| s.ctx(b)).collect());
+            run_scalar_chain(
+                batch,
+                stages,
+                ctxs,
+                catalog,
+                &need_bytes,
+                &mut counts,
+                &mut bytes,
+                &mut out,
+            )?;
+        }
+    }
+    Ok((out, counts, nvec, nbatches))
+}
+
+/// The vectorized fold kernel for one partition: the element function runs
+/// as a columnar batch first, then the (inherently sequential) combiner
+/// chain drains the batch's outputs in row order. An aborted batch replays
+/// the scalar *interleaved* loop from the batch-entry accumulator —
+/// re-deriving the element values for already-combined rows is free of
+/// observable effects (UDFs are pure), so the first error in the reference
+/// `sng/uni` interleaving order reproduces exactly.
+#[allow(clippy::too_many_arguments)]
+fn fold_vectorized_partition(
+    rows: &[Value],
+    vp: &VectorPipeline,
+    batch_rows: usize,
+    sng: &PreparedScalar<'_>,
+    uni: &PreparedScalar<'_>,
+    base: &HashMap<String, Value>,
+    zero: Value,
+    catalog: &Catalog,
+) -> Result<(Value, u64, u64), ValueError> {
+    let mut scratch = vp.new_scratch();
+    let mut ucx = uni.ctx(base);
+    let mut scx: Option<EvCtx> = None;
+    let mut acc = zero;
+    let mut buf: Vec<Value> = Vec::new();
+    let mut counts = [0u64; 2];
+    let (mut nvec, mut nbatches) = (0u64, 0u64);
+    for batch in rows.chunks(batch_rows.max(1)) {
+        buf.clear();
+        if vp.run_batch(batch, &mut scratch, &mut counts, &mut buf) {
+            nvec += batch.len() as u64;
+            nbatches += 1;
+            for s in buf.drain(..) {
+                acc = uni.call_owned([acc, s], &mut ucx, catalog)?;
+            }
+        } else {
+            let scx = scx.get_or_insert_with(|| sng.ctx(base));
+            for row in batch {
+                let s = sng.call(std::slice::from_ref(row), scx, catalog)?;
+                acc = uni.call_owned([acc, s], &mut ucx, catalog)?;
+            }
+        }
+    }
+    Ok((acc, nvec, nbatches))
+}
+
+/// The scalar flat loop over a Map/Filter-only stage chain: each row stays
+/// in a register-resident local through every stage. Shared between the
+/// fused pipeline pass and the vectorized tier's batch-abort replay.
+#[allow(clippy::too_many_arguments)]
+fn run_scalar_chain<'p, 'b>(
+    rows: &[Value],
+    stages: &'b [PreparedStage<'p>],
+    ctxs: &mut [EvCtx<'b>],
+    catalog: &Catalog,
+    need_bytes: &[bool],
+    counts: &mut [u64],
+    bytes: &mut [u64],
+    out: &mut Vec<Value>,
+) -> Result<(), ValueError>
+where
+    'p: 'b,
+{
+    let nstages = stages.len();
+    'rows: for row in rows {
+        let mut cur = row.clone();
+        for (i, stage) in stages.iter().enumerate() {
+            counts[i] += 1;
+            if need_bytes[i] {
+                bytes[i] += cur.approx_bytes();
+            }
+            match stage {
+                PreparedStage::Map(f) => {
+                    cur = f.call_owned([cur], &mut ctxs[i], catalog)?;
+                }
+                PreparedStage::Filter(p) => {
+                    let keep = p
+                        .call(std::slice::from_ref(&cur), &mut ctxs[i], catalog)?
+                        .as_bool()?;
+                    if !keep {
+                        continue 'rows;
+                    }
+                }
+                PreparedStage::FlatMap(_) => unreachable!("chain is Map/Filter-only"),
+            }
+        }
+        counts[nstages] += 1;
+        if need_bytes[nstages] {
+            bytes[nstages] += cur.approx_bytes();
+        }
+        out.push(cur);
+    }
+    Ok(())
+}
+
 /// Runs every fused stage over one partition in a single pass: each row is
 /// pushed through the whole stage chain with no intermediate collection
 /// materialized. Returns the output rows plus, per stage boundary `i`, the
@@ -2833,34 +3226,16 @@ where
     // Map/Filter-only chains (the common fused shape) run as one flat loop:
     // each row stays in a register-resident local through every stage, with
     // no per-stage recursion.
-    'rows: for row in rows {
-        let mut cur = row.clone();
-        for (i, stage) in stages.iter().enumerate() {
-            counts[i] += 1;
-            if need_bytes[i] {
-                bytes[i] += cur.approx_bytes();
-            }
-            match stage {
-                PreparedStage::Map(f) => {
-                    cur = f.call(std::slice::from_ref(&cur), &mut ctxs[i], catalog)?;
-                }
-                PreparedStage::Filter(p) => {
-                    let keep = p
-                        .call(std::slice::from_ref(&cur), &mut ctxs[i], catalog)?
-                        .as_bool()?;
-                    if !keep {
-                        continue 'rows;
-                    }
-                }
-                PreparedStage::FlatMap(_) => unreachable!("handled above"),
-            }
-        }
-        counts[nstages] += 1;
-        if need_bytes[nstages] {
-            bytes[nstages] += cur.approx_bytes();
-        }
-        out.push(cur);
-    }
+    run_scalar_chain(
+        rows,
+        stages,
+        &mut ctxs,
+        catalog,
+        need_bytes,
+        &mut counts,
+        &mut bytes,
+        &mut out,
+    )?;
     Ok((out, counts, bytes))
 }
 
@@ -2890,7 +3265,7 @@ where
     };
     match stage {
         PreparedStage::Map(f) => {
-            let v = f.call(std::slice::from_ref(&row), &mut ctxs[i], catalog)?;
+            let v = f.call_owned([row], &mut ctxs[i], catalog)?;
             push_row(
                 v,
                 i + 1,

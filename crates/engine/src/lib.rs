@@ -37,6 +37,7 @@ pub mod skew;
 
 pub use cluster::{ClusterSpec, Personality};
 pub use dataset::{Partitioned, Partitioning};
+pub use emma_compiler::vectorized::BatchConfig;
 pub use exec::{Engine, EngineRun};
 pub use fault::{CheckpointConfig, FaultConfig, SpeculationPolicy, TaskFault};
 pub use metrics::{ExecError, ExecStats};

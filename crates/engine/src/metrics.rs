@@ -100,6 +100,17 @@ pub struct ExecStats {
     /// across skew-eligible shuffles, measured *before* splitting. 1.0 is
     /// perfectly balanced; only tracked when skew splitting is configured.
     pub max_skew_ratio: f64,
+    /// Rows evaluated through the vectorized columnar batch tier (requires
+    /// `Engine::with_vectorized_eval`); counts each row once per fused
+    /// vectorized operator chain it passed through. Rows replayed through
+    /// the scalar tier after a batch abort are not counted.
+    pub rows_vectorized: u64,
+    /// Columnar batches executed successfully by the vectorized tier.
+    pub batches_executed: u64,
+    /// Operators that requested vectorization but were not fully
+    /// type-specializable and fell back to the scalar compiled tier —
+    /// "no silent slow paths": every fallback is visible here.
+    pub vector_fallbacks: u64,
 }
 
 /// Attoseconds per second — the resolution of the simulated clock.
@@ -163,6 +174,9 @@ impl PartialEq for ExecStats {
             && self.partitions_split == other.partitions_split
             && self.split_rows_moved == other.split_rows_moved
             && self.max_skew_ratio == other.max_skew_ratio
+            && self.rows_vectorized == other.rows_vectorized
+            && self.batches_executed == other.batches_executed
+            && self.vector_fallbacks == other.vector_fallbacks
     }
 }
 
@@ -221,6 +235,13 @@ impl fmt::Display for ExecStats {
                 f,
                 "  skew={:.2}  split={}  moved={}",
                 self.max_skew_ratio, self.partitions_split, self.split_rows_moved
+            )?;
+        }
+        if self.rows_vectorized > 0 || self.vector_fallbacks > 0 {
+            write!(
+                f,
+                "  vectorized={}r/{}b  vec_fallbacks={}",
+                self.rows_vectorized, self.batches_executed, self.vector_fallbacks
             )?;
         }
         Ok(())
@@ -427,6 +448,40 @@ mod tests {
             ..Default::default()
         };
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn display_appends_vectorization_counters_only_when_tracked() {
+        let mut s = ExecStats::default();
+        assert!(!s.to_string().contains("vectorized="), "{s}");
+        s.rows_vectorized = 2048;
+        s.batches_executed = 2;
+        s.vector_fallbacks = 1;
+        let noisy = s.to_string();
+        assert!(
+            noisy.contains("vectorized=2048r/2b  vec_fallbacks=1"),
+            "{noisy}"
+        );
+        // A vectorized run where everything fell back still reports it.
+        let fallback_only = ExecStats {
+            vector_fallbacks: 3,
+            ..Default::default()
+        };
+        assert!(fallback_only.to_string().contains("vec_fallbacks=3"));
+    }
+
+    #[test]
+    fn eq_compares_vectorization_counters() {
+        let a = ExecStats::default();
+        for make in [
+            |s: &mut ExecStats| s.rows_vectorized = 1,
+            |s: &mut ExecStats| s.batches_executed = 1,
+            |s: &mut ExecStats| s.vector_fallbacks = 1,
+        ] {
+            let mut b = ExecStats::default();
+            make(&mut b);
+            assert_ne!(a, b);
+        }
     }
 
     #[test]

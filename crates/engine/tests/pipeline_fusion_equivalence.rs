@@ -106,6 +106,7 @@ fn chain_program(ops: &[NarrowOp]) -> CompiledProgram {
         }],
         report: OptimizationReport::default(),
         compiled_eval: true,
+        vectorized_eval: false,
     }
 }
 
@@ -240,6 +241,7 @@ fn grouped_input_pipeline_matches_unfused() {
         }],
         report: OptimizationReport::default(),
         compiled_eval: true,
+        vectorized_eval: false,
     };
     let fused = fused_clone(&unfused);
     assert_eq!(fused.report.pipelines_fused, 1);

@@ -82,7 +82,7 @@ pub mod prelude {
     pub use emma_compiler::value::{Value, ValueError};
     pub use emma_core::{DataBag, Grp, Keyed, StatefulBag};
     pub use emma_engine::{
-        CheckpointConfig, ClusterSpec, Engine, EngineRun, ExecError, ExecStats, FaultConfig,
-        Personality,
+        BatchConfig, CheckpointConfig, ClusterSpec, Engine, EngineRun, ExecError, ExecStats,
+        FaultConfig, Personality, SkewConfig,
     };
 }

@@ -132,17 +132,7 @@ fn main() {
         (Some(n), Some(ch)) => ch.mean_ns / n.mean_ns,
         _ => f64::NAN,
     };
-    let mut results = String::new();
-    for (i, m) in ms.iter().enumerate() {
-        if i > 0 {
-            results.push_str(",\n");
-        }
-        results.push_str(&format!(
-            "    {{\"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"samples\": {}, \"iters_per_sample\": {}, \"records_per_sec\": {:.0}}}",
-            m.id, m.mean_ns, m.min_ns, m.max_ns, m.samples, m.iters_per_sample,
-            ROWS as f64 * 1e9 / m.mean_ns
-        ));
-    }
+    let results = emma_bench::bench_json(&ms, ROWS as u64);
     let json = format!(
         "{{\n  \"bench\": \"fault_injection\",\n  \"rows\": {ROWS},\n  \"threads\": {threads},\n  \"overhead_disabled_vs_none\": {overhead:.3},\n  \"overhead_disabled_vs_none_min\": {overhead_min:.3},\n  \"slowdown_chaos_vs_none\": {chaos_slowdown:.3},\n  \"results\": [\n{results}\n  ]\n}}\n"
     );

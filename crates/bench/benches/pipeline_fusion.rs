@@ -164,17 +164,7 @@ fn main() {
         ),
         _ => (f64::NAN, f64::NAN),
     };
-    let mut results = String::new();
-    for (i, m) in ms.iter().enumerate() {
-        if i > 0 {
-            results.push_str(",\n");
-        }
-        results.push_str(&format!(
-            "    {{\"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"samples\": {}, \"iters_per_sample\": {}, \"records_per_sec\": {:.0}}}",
-            m.id, m.mean_ns, m.min_ns, m.max_ns, m.samples, m.iters_per_sample,
-            ROWS as f64 * 1e9 / m.mean_ns
-        ));
-    }
+    let results = emma_bench::bench_json(&ms, ROWS as u64);
     let json = format!(
         "{{\n  \"bench\": \"pipeline_fusion\",\n  \"rows\": {ROWS},\n  \"stages\": 10,\n  \"threads\": {threads},\n  \"speedup_fused_pool_vs_seed\": {speedup:.3},\n  \"speedup_fused_pool_vs_seed_min\": {speedup_min:.3},\n  \"results\": [\n{results}\n  ]\n}}\n"
     );

@@ -244,17 +244,7 @@ fn main() {
         (Some(u), Some(sp)) => sp.mean_ns / u.mean_ns,
         _ => f64::NAN,
     };
-    let mut results = String::new();
-    for (i, m) in ms.iter().enumerate() {
-        if i > 0 {
-            results.push_str(",\n");
-        }
-        results.push_str(&format!(
-            "    {{\"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"samples\": {}, \"iters_per_sample\": {}, \"records_per_sec\": {:.0}}}",
-            m.id, m.mean_ns, m.min_ns, m.max_ns, m.samples, m.iters_per_sample,
-            ROWS as f64 * 1e9 / m.mean_ns
-        ));
-    }
+    let results = emma_bench::bench_json(&ms, ROWS as u64);
     let json = format!(
         "{{\n  \"bench\": \"skew_split\",\n  \"rows\": {ROWS},\n  \"keys\": {KEYS},\n  \"threads\": {threads},\n  \"speedup_split_vs_unsplit\": {headline:.3},\n  \"join_speedup_split_vs_unsplit\": {join_speedup:.3},\n  \"wall_overhead_split_vs_unsplit\": {wall_overhead:.3},\n  \"join_sim_secs_unsplit\": {:.6},\n  \"join_sim_secs_split\": {:.6},\n  \"levels\": [\n{levels}\n  ],\n  \"results\": [\n{results}\n  ]\n}}\n",
         joff.stats.simulated_secs,

@@ -181,17 +181,7 @@ fn main() {
         (Some(s), Some(sp)) => sp.mean_ns / s.mean_ns,
         _ => f64::NAN,
     };
-    let mut results = String::new();
-    for (i, m) in ms.iter().enumerate() {
-        if i > 0 {
-            results.push_str(",\n");
-        }
-        results.push_str(&format!(
-            "    {{\"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"samples\": {}, \"iters_per_sample\": {}, \"records_per_sec\": {:.0}}}",
-            m.id, m.mean_ns, m.min_ns, m.max_ns, m.samples, m.iters_per_sample,
-            ROWS as f64 * 1e9 / m.mean_ns
-        ));
-    }
+    let results = emma_bench::bench_json(&ms, ROWS as u64);
     let json = format!(
         "{{\n  \"bench\": \"speculation\",\n  \"rows\": {ROWS},\n  \"threads\": {threads},\n  \"wall_overhead_speculation_vs_stragglers\": {wall_overhead:.3},\n  \"sim_secs_stragglers\": {:.6},\n  \"sim_secs_speculation\": {:.6},\n  \"sim_secs_speculation_quantile\": {:.6},\n  \"retry_sim_secs_stragglers\": {:.6},\n  \"retry_sim_secs_speculation\": {:.6},\n  \"retry_sim_secs_speculation_quantile\": {:.6},\n  \"tasks_speculated\": {},\n  \"tasks_speculated_quantile\": {},\n  \"speculation_wins\": {},\n  \"speculation_wins_quantile\": {},\n  \"speculation_wasted_secs\": {:.6},\n  \"speculation_wasted_secs_quantile\": {:.6},\n  \"results\": [\n{results}\n  ]\n}}\n",
         off.stats.simulated_secs,

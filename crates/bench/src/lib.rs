@@ -67,6 +67,36 @@ pub fn run_with_timeout(
     }
 }
 
+/// Renders criterion measurements as the `"results"` array body shared by
+/// every `BENCH_*.json` writer: one JSON object per measurement, including a
+/// `records_per_sec` throughput derived from `records` and the mean time.
+///
+/// Guards against the division producing `inf`/`NaN` (a zero or non-finite
+/// `mean_ns` — e.g. an empty sample set) by reporting 0 instead: `inf` and
+/// `NaN` are not valid JSON number tokens, so an unguarded writer would
+/// emit a file nothing can parse.
+pub fn bench_json(ms: &[criterion::Measurement], records: u64) -> String {
+    let finite = |v: f64| if v.is_finite() { v } else { 0.0 };
+    let mut out = String::new();
+    for (i, m) in ms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let rps = records as f64 * 1e9 / m.mean_ns;
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"samples\": {}, \"iters_per_sample\": {}, \"records_per_sec\": {:.0}}}",
+            m.id,
+            finite(m.mean_ns),
+            finite(m.min_ns),
+            finite(m.max_ns),
+            m.samples,
+            m.iters_per_sample,
+            if rps.is_finite() { rps } else { 0.0 },
+        ));
+    }
+    out
+}
+
 /// Pretty-prints a row-major table with a header.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");

@@ -346,6 +346,7 @@ impl Engine {
             task_sites: 0,
             cache_events: 0,
             checkpoint_events: 0,
+            checkpoint_bytes_written: 0,
         };
         session.exec_stmts(&prog.body)?;
         let mut scalars = HashMap::new();
@@ -582,9 +583,14 @@ struct Session<'a> {
     /// (the eviction schedule's identifier space).
     cache_events: u64,
     /// Driver-ordered counter of checkpoint-eligible cache writes — the
-    /// identifier space `CheckpointConfig::interval` selects from. Advances
-    /// only when checkpointing is configured.
+    /// identifier space `CheckpointPolicy` selects from. Advances only when
+    /// checkpointing is configured.
     checkpoint_events: u64,
+    /// Simulated-storage bytes spent on checkpoints so far — the running
+    /// total the cost-driven policy's write budget is charged against.
+    /// (`ExecStats::bytes_written_storage` can't serve: it also counts sink
+    /// writes and spills.)
+    checkpoint_bytes_written: u64,
 }
 
 impl<'a> Session<'a> {
@@ -2736,11 +2742,13 @@ impl<'a> Session<'a> {
                             }
                             *thunk.memo.lock().unwrap() = None;
                             self.stats.recomputed_plan_nodes += thunk.plan.lineage_size() as u64;
+                            let splits_before = self.stats.partitions_split;
                             let result = self.exec_bag(&thunk.plan.clone(), &thunk.env.clone())?;
                             self.stats.cache_misses += 1;
                             self.stats.recomputed_partitions += result.parts.len() as u64;
                             self.charge_cache_write(&result);
-                            self.maybe_checkpoint(thunk, &result);
+                            let split = self.stats.partitions_split > splits_before;
+                            self.maybe_checkpoint(thunk, &result, split);
                             *thunk.memo.lock().unwrap() = Some(result.clone());
                             return Ok(result);
                         }
@@ -2750,10 +2758,12 @@ impl<'a> Session<'a> {
                 self.charge_cache_read(&hit);
                 return Ok(hit);
             }
+            let splits_before = self.stats.partitions_split;
             let result = self.exec_bag(&thunk.plan.clone(), &thunk.env.clone())?;
             self.stats.cache_misses += 1;
             self.charge_cache_write(&result);
-            self.maybe_checkpoint(thunk, &result);
+            let split = self.stats.partitions_split > splits_before;
+            self.maybe_checkpoint(thunk, &result, split);
             *thunk.memo.lock().unwrap() = Some(result.clone());
             Ok(result)
         } else {
@@ -2765,12 +2775,18 @@ impl<'a> Session<'a> {
 
     /// Persists an eligible cache write to simulated durable storage under
     /// the engine's [`CheckpointConfig`]. Eligibility and selection are
-    /// driver-ordered (the `checkpoint_events` counter), so the checkpoint
-    /// placement — like every other fault decision — is independent of
-    /// thread count and dispatch mode. The write is charged at full storage
-    /// bandwidth and shows up in `bytes_written_storage`, which is the
-    /// price paid for O(delta) recovery.
-    fn maybe_checkpoint(&mut self, thunk: &Thunk, d: &Partitioned) {
+    /// driver-ordered (the `checkpoint_events` counter plus, for the
+    /// cost-driven policy, the driver-ordered eviction counters), so the
+    /// checkpoint placement — like every other fault decision — is
+    /// independent of thread count and dispatch mode. The write is charged
+    /// at full storage bandwidth and shows up in `bytes_written_storage`,
+    /// which is the price paid for O(delta) recovery.
+    ///
+    /// `downstream_of_split` reports whether materializing this site's own
+    /// plan grew `partitions_split` — i.e. the site sits immediately after a
+    /// shuffle the skew layer had to split. The cost-driven policy boosts
+    /// such sites: hot partitions are where recomputation is most expensive.
+    fn maybe_checkpoint(&mut self, thunk: &Thunk, d: &Partitioned, downstream_of_split: bool) {
         let Some(ck) = self.engine.checkpoints else {
             return;
         };
@@ -2779,15 +2795,42 @@ impl<'a> Session<'a> {
         }
         let event = self.checkpoint_events;
         self.checkpoint_events += 1;
-        if !event.is_multiple_of(ck.interval.max(1)) {
+        let bytes = d.total_bytes();
+        let persist = match ck.policy {
+            // Clamped at the use site: constructing the variant directly
+            // bypasses `CheckpointConfig::every`'s clamp, and a raw 0 would
+            // otherwise panic on the modulo.
+            fault::CheckpointPolicy::EveryN(n) => event.is_multiple_of(n.max(1)),
+            fault::CheckpointPolicy::CostDriven(cost) => {
+                // Risk blends the configured eviction probability with the
+                // rate observed so far; every input is a driver-ordered
+                // deterministic counter, so the whole decision replays
+                // bit-identically.
+                let prior = self.fault_cfg().map_or(0.0, |f| f.cache_evict_p);
+                let risk = cost.eviction_risk(self.stats.cache_evictions, self.cache_events, prior);
+                let score = cost.score(thunk.plan.lineage_size(), bytes, risk, downstream_of_split);
+                // `event + 1` sites seen including this one: the budget
+                // auto-tunes upward as eviction pressure rises and collapses
+                // to zero when nothing is ever at risk.
+                let budget = cost.budget_bytes(event + 1, risk);
+                self.stats.checkpoint_budget_bytes = budget;
+                let chosen = score > cost.score_threshold
+                    && self.checkpoint_bytes_written.saturating_add(bytes) <= budget;
+                if !chosen {
+                    self.stats.checkpoints_skipped_low_score += 1;
+                }
+                chosen
+            }
+        };
+        if !persist {
             return;
         }
         thunk
             .persisted
             .store(true, std::sync::atomic::Ordering::Relaxed);
         self.stats.checkpoints_written += 1;
+        self.checkpoint_bytes_written += bytes;
         let spec = *self.spec();
-        let bytes = d.total_bytes();
         self.stats.bytes_written_storage += bytes;
         self.stats
             .charge_secs(bytes as f64 / (spec.disk_bw * spec.nodes as f64));

@@ -324,10 +324,8 @@ fn fmix64(mut h: u64) -> u64 {
 /// bit-identical to an engine without the feature.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CheckpointConfig {
-    /// Persist every `interval`-th eligible cache write, counted in driver
-    /// order (1 = persist every eligible write). Larger intervals trade
-    /// cheaper steady-state writes for deeper recovery deltas.
-    pub interval: u64,
+    /// Which eligible cache writes actually get persisted.
+    pub policy: CheckpointPolicy,
     /// Minimum lineage size (logical operators, `Plan::lineage_size`) below
     /// which a cache site is not worth persisting: a bare source scan's
     /// recovery path *is* re-reading the source.
@@ -337,7 +335,7 @@ pub struct CheckpointConfig {
 impl Default for CheckpointConfig {
     fn default() -> Self {
         CheckpointConfig {
-            interval: 1,
+            policy: CheckpointPolicy::EveryN(1),
             min_lineage: 2,
         }
     }
@@ -347,15 +345,156 @@ impl CheckpointConfig {
     /// Persist every `interval`-th eligible cache write (clamped to ≥ 1).
     pub fn every(interval: u64) -> Self {
         CheckpointConfig {
-            interval: interval.max(1),
+            policy: CheckpointPolicy::EveryN(interval.max(1)),
             ..Self::default()
         }
+    }
+
+    /// Cost-driven placement with the default [`CostDrivenConfig`]: persist
+    /// the cache sites whose recomputation-cost × eviction-risk score clears
+    /// the threshold, within the auto-tuned write budget.
+    pub fn cost_driven() -> Self {
+        CheckpointConfig {
+            policy: CheckpointPolicy::CostDriven(CostDrivenConfig::default()),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the placement policy.
+    pub fn with_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Sets the minimum lineage size of a persistable cache site.
     pub fn with_min_lineage(mut self, n: usize) -> Self {
         self.min_lineage = n;
         self
+    }
+}
+
+/// How checkpoint sites are chosen among the eligible cache writes. Both
+/// variants are pure functions of driver-ordered state, so the set of
+/// persisted sites replays bit-identically across thread counts, dispatch
+/// modes, and runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CheckpointPolicy {
+    /// Persist every `n`-th eligible cache write, counted in driver order
+    /// (1 = persist every eligible write) — the original fixed-interval
+    /// policy, bit-identical to the pre-policy engine. A zero written
+    /// directly into the variant is clamped to 1 at the use site.
+    EveryN(u64),
+    /// Persist the sites whose estimated recomputation cost × eviction risk
+    /// clears a threshold, within a write budget auto-tuned from the
+    /// observed eviction rate. See [`CostDrivenConfig`].
+    CostDriven(CostDrivenConfig),
+}
+
+/// Knobs of the cost-driven checkpoint placement policy.
+///
+/// Each eligible cache write is scored
+/// `lineage_size × partition_bytes × eviction_risk`, doubled (by default)
+/// when the site's own materialization triggered a skew split — hot
+/// partitions are exactly where recomputation is most expensive. The site is
+/// persisted iff its score strictly exceeds [`score_threshold`] *and* the
+/// bytes written so far stay within the running budget
+/// `sites_seen × budget_bytes_per_site × 2 × eviction_risk` — so a rising
+/// observed eviction rate widens the budget and a risk-free run (no
+/// configured `cache_evict_p`, no observed evictions) persists nothing,
+/// because a checkpoint that can never be restored is pure write cost.
+///
+/// `eviction_risk` blends the configured [`FaultConfig::cache_evict_p`]
+/// prior with the observed eviction rate as a Beta-style pseudo-count
+/// estimate: `(evictions + w·prior) / (reads + w)` with
+/// `w =` [`risk_prior_weight`]. Every input is a deterministic
+/// driver-ordered counter, so scoring replays bit-identically.
+///
+/// [`score_threshold`]: CostDrivenConfig::score_threshold
+/// [`risk_prior_weight`]: CostDrivenConfig::risk_prior_weight
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostDrivenConfig {
+    /// Persist only sites whose score (lineage × bytes × risk × boost) is
+    /// strictly above this. 0.0 admits every site with any eviction risk.
+    pub score_threshold: f64,
+    /// Budget scale: simulated-storage bytes earned per eligible site seen,
+    /// before the ×2×risk auto-tuning factor.
+    pub budget_bytes_per_site: u64,
+    /// Score multiplier for sites immediately downstream of a shuffle that
+    /// triggered skew splitting (`partitions_split` grew while the site
+    /// materialized).
+    pub skew_boost: f64,
+    /// Pseudo-count weight of the configured `cache_evict_p` prior in the
+    /// eviction-risk estimate; higher values trust the prior longer before
+    /// the observed rate takes over.
+    pub risk_prior_weight: f64,
+}
+
+impl Default for CostDrivenConfig {
+    fn default() -> Self {
+        CostDrivenConfig {
+            score_threshold: 0.0,
+            budget_bytes_per_site: 1 << 20,
+            skew_boost: 2.0,
+            risk_prior_weight: 8.0,
+        }
+    }
+}
+
+impl CostDrivenConfig {
+    /// Sets the minimum (exclusive) score a site must reach to be persisted.
+    pub fn with_score_threshold(mut self, t: f64) -> Self {
+        self.score_threshold = t;
+        self
+    }
+
+    /// Sets the per-site byte allowance that scales the write budget.
+    pub fn with_budget_bytes_per_site(mut self, bytes: u64) -> Self {
+        self.budget_bytes_per_site = bytes;
+        self
+    }
+
+    /// Sets the score multiplier for sites downstream of a skew split.
+    pub fn with_skew_boost(mut self, boost: f64) -> Self {
+        self.skew_boost = boost;
+        self
+    }
+
+    /// Sets the pseudo-count weight of the configured eviction prior.
+    pub fn with_risk_prior_weight(mut self, w: f64) -> Self {
+        self.risk_prior_weight = w;
+        self
+    }
+
+    /// Blended eviction-risk estimate in `[0, 1]`: the observed eviction
+    /// rate (`evictions / reads`) shrunk toward the configured prior
+    /// `prior_p` by `risk_prior_weight` pseudo-observations. Pure arithmetic
+    /// over deterministic counters.
+    pub fn eviction_risk(&self, evictions: u64, reads: u64, prior_p: f64) -> f64 {
+        let w = self.risk_prior_weight.max(0.0);
+        let denom = reads as f64 + w;
+        if denom <= 0.0 {
+            return prior_p.clamp(0.0, 1.0);
+        }
+        ((evictions as f64 + w * prior_p.clamp(0.0, 1.0)) / denom).clamp(0.0, 1.0)
+    }
+
+    /// The placement score of one eligible cache site: estimated
+    /// recomputation cost (lineage depth × partition bytes) × eviction risk,
+    /// boosted when the site sits just downstream of a skew-split shuffle.
+    pub fn score(&self, lineage: usize, bytes: u64, risk: f64, downstream_of_split: bool) -> f64 {
+        let boost = if downstream_of_split {
+            self.skew_boost.max(0.0)
+        } else {
+            1.0
+        };
+        lineage as f64 * bytes as f64 * risk * boost
+    }
+
+    /// The running write budget after `sites_seen` eligible sites at the
+    /// current risk estimate: `sites_seen × budget_bytes_per_site × 2 ×
+    /// risk`, rounded down. Risk 0 ⇒ budget 0 ⇒ nothing is persisted.
+    pub fn budget_bytes(&self, sites_seen: u64, risk: f64) -> u64 {
+        (sites_seen as f64 * self.budget_bytes_per_site as f64 * 2.0 * risk.clamp(0.0, 1.0)) as u64
     }
 }
 
@@ -541,13 +680,80 @@ mod tests {
 
     #[test]
     fn checkpoint_config_clamps_interval() {
-        assert_eq!(CheckpointConfig::every(0).interval, 1);
-        assert_eq!(CheckpointConfig::every(5).interval, 5);
+        assert_eq!(
+            CheckpointConfig::every(0).policy,
+            CheckpointPolicy::EveryN(1)
+        );
+        assert_eq!(
+            CheckpointConfig::every(5).policy,
+            CheckpointPolicy::EveryN(5)
+        );
         assert_eq!(CheckpointConfig::default().min_lineage, 2);
         assert_eq!(
             CheckpointConfig::default().with_min_lineage(7).min_lineage,
             7
         );
+        assert_eq!(
+            CheckpointConfig::default().policy,
+            CheckpointPolicy::EveryN(1)
+        );
+        assert!(matches!(
+            CheckpointConfig::cost_driven().policy,
+            CheckpointPolicy::CostDriven(_)
+        ));
+    }
+
+    #[test]
+    fn eviction_risk_blends_prior_with_observed_rate() {
+        let cfg = CostDrivenConfig::default();
+        // No observations: the estimate is exactly the prior.
+        assert_eq!(cfg.eviction_risk(0, 0, 0.25), 0.25);
+        // Heavy observation swamps the prior.
+        let r = cfg.eviction_risk(900, 1_000, 0.0);
+        assert!(r > 0.85 && r < 0.9, "risk={r}");
+        // All-evicted converges toward (but never above) 1.0.
+        let r = cfg.eviction_risk(1_000, 1_000, 1.0);
+        assert_eq!(r, 1.0);
+        assert!(cfg.eviction_risk(1_000, 1_000, 0.0) < 1.0);
+        // Clamped on bogus priors.
+        assert_eq!(cfg.eviction_risk(0, 0, 7.0), 1.0);
+        assert_eq!(cfg.eviction_risk(0, 0, -3.0), 0.0);
+        // Zero prior weight: pure observed rate, and the empty case is the
+        // clamped prior instead of 0/0.
+        let raw = cfg.with_risk_prior_weight(0.0);
+        assert_eq!(raw.eviction_risk(1, 4, 0.9), 0.25);
+        assert_eq!(raw.eviction_risk(0, 0, 0.9), 0.9);
+    }
+
+    #[test]
+    fn score_multiplies_cost_risk_and_skew_boost() {
+        let cfg = CostDrivenConfig::default();
+        assert_eq!(cfg.score(10, 100, 0.5, false), 500.0);
+        assert_eq!(cfg.score(10, 100, 0.5, true), 1_000.0);
+        assert_eq!(cfg.score(10, 100, 0.0, true), 0.0);
+        let flat = cfg.with_skew_boost(1.0);
+        assert_eq!(
+            flat.score(10, 100, 0.5, true),
+            flat.score(10, 100, 0.5, false)
+        );
+        // A negative boost never turns the score negative-useful: clamped to 0.
+        assert_eq!(cfg.with_skew_boost(-2.0).score(10, 100, 0.5, true), 0.0);
+        // Pure: identical inputs give bit-identical scores.
+        assert_eq!(
+            cfg.score(13, 4_096, 0.375, true).to_bits(),
+            cfg.score(13, 4_096, 0.375, true).to_bits()
+        );
+    }
+
+    #[test]
+    fn budget_scales_with_sites_and_risk() {
+        let cfg = CostDrivenConfig::default().with_budget_bytes_per_site(1_000);
+        assert_eq!(cfg.budget_bytes(10, 0.5), 10_000);
+        assert_eq!(cfg.budget_bytes(10, 1.0), 20_000);
+        // Risk 0 ⇒ budget 0: a checkpoint that can never be restored is pure
+        // write cost.
+        assert_eq!(cfg.budget_bytes(10, 0.0), 0);
+        assert_eq!(cfg.budget_bytes(0, 1.0), 0);
     }
 
     #[test]

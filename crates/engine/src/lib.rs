@@ -39,7 +39,9 @@ pub use cluster::{ClusterSpec, Personality};
 pub use dataset::{Partitioned, Partitioning};
 pub use emma_compiler::vectorized::BatchConfig;
 pub use exec::{Engine, EngineRun};
-pub use fault::{CheckpointConfig, FaultConfig, SpeculationPolicy, TaskFault};
+pub use fault::{
+    CheckpointConfig, CheckpointPolicy, CostDrivenConfig, FaultConfig, SpeculationPolicy, TaskFault,
+};
 pub use metrics::{ExecError, ExecStats};
 pub use pool::{ParallelismMode, WorkerPool};
 pub use skew::SkewConfig;

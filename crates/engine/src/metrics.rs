@@ -74,6 +74,14 @@ pub struct ExecStats {
     /// Cache evictions recovered by re-reading a checkpoint from storage
     /// instead of re-deriving plan lineage.
     pub checkpoint_restores: u64,
+    /// Eligible cache writes the cost-driven placement policy declined to
+    /// persist — score at or below the threshold, or over the write budget.
+    /// Always 0 under `CheckpointPolicy::EveryN`.
+    pub checkpoints_skipped_low_score: u64,
+    /// Final auto-tuned write budget of the cost-driven placement policy
+    /// (`sites_seen × budget_bytes_per_site × 2 × eviction_risk`), as of the
+    /// last placement decision. Always 0 under `CheckpointPolicy::EveryN`.
+    pub checkpoint_budget_bytes: u64,
     /// Cached thunk results found evicted on read, forcing lineage
     /// recomputation.
     pub cache_evictions: u64,
@@ -167,6 +175,8 @@ impl PartialEq for ExecStats {
             && self.speculation_wasted_secs == other.speculation_wasted_secs
             && self.checkpoints_written == other.checkpoints_written
             && self.checkpoint_restores == other.checkpoint_restores
+            && self.checkpoints_skipped_low_score == other.checkpoints_skipped_low_score
+            && self.checkpoint_budget_bytes == other.checkpoint_budget_bytes
             && self.cache_evictions == other.cache_evictions
             && self.recomputed_partitions == other.recomputed_partitions
             && self.recomputed_plan_nodes == other.recomputed_plan_nodes
@@ -216,12 +226,23 @@ impl fmt::Display for ExecStats {
                 self.tasks_speculated, self.speculation_wins, self.speculation_wasted_secs
             )?;
         }
-        if self.checkpoints_written > 0 || self.checkpoint_restores > 0 {
+        if self.checkpoints_written > 0
+            || self.checkpoint_restores > 0
+            || self.checkpoints_skipped_low_score > 0
+        {
             write!(
                 f,
                 "  ckpt={}w/{}r",
                 self.checkpoints_written, self.checkpoint_restores
             )?;
+            if self.checkpoints_skipped_low_score > 0 || self.checkpoint_budget_bytes > 0 {
+                write!(
+                    f,
+                    "/{}skip  ckpt_budget={}",
+                    self.checkpoints_skipped_low_score,
+                    human_bytes(self.checkpoint_budget_bytes)
+                )?;
+            }
         }
         if self.cache_evictions > 0 {
             write!(
@@ -416,6 +437,48 @@ mod tests {
             "{noisy}"
         );
         assert!(noisy.contains("ckpt=6w/2r"), "{noisy}");
+    }
+
+    #[test]
+    fn display_appends_placement_counters_only_when_the_policy_skipped() {
+        // EveryN runs never skip, so the ckpt section keeps its PR 4 shape.
+        let every_n = ExecStats {
+            checkpoints_written: 6,
+            checkpoint_restores: 2,
+            ..Default::default()
+        };
+        assert!(!every_n.to_string().contains("skip"), "{every_n}");
+        let cost_driven = ExecStats {
+            checkpoints_written: 6,
+            checkpoint_restores: 2,
+            checkpoints_skipped_low_score: 3,
+            checkpoint_budget_bytes: 2048,
+            ..Default::default()
+        };
+        let noisy = cost_driven.to_string();
+        assert!(
+            noisy.contains("ckpt=6w/2r/3skip  ckpt_budget=2.0KiB"),
+            "{noisy}"
+        );
+        // A cost-driven run that skipped everything still surfaces it.
+        let all_skipped = ExecStats {
+            checkpoints_skipped_low_score: 4,
+            ..Default::default()
+        };
+        assert!(all_skipped.to_string().contains("ckpt=0w/0r/4skip"));
+    }
+
+    #[test]
+    fn eq_compares_placement_counters() {
+        let a = ExecStats::default();
+        for make in [
+            |s: &mut ExecStats| s.checkpoints_skipped_low_score = 1,
+            |s: &mut ExecStats| s.checkpoint_budget_bytes = 1,
+        ] {
+            let mut b = ExecStats::default();
+            make(&mut b);
+            assert_ne!(a, b);
+        }
     }
 
     #[test]

@@ -119,10 +119,12 @@ impl SplitPlan {
 /// The skew ratio of a layout: `max_part_rows × parts / total_rows`.
 ///
 /// A perfectly balanced layout scores 1.0; a layout whose hottest partition
-/// holds everything scores `parts`. Returns 0.0 for empty layouts.
+/// holds everything scores `parts`. Returns 0.0 for empty, all-zero, and
+/// single-partition layouts — with fewer than two partitions there is no
+/// imbalance to measure (and nothing splitting could ever fix).
 pub fn skew_ratio(sizes: &[u64]) -> f64 {
     let total: u64 = sizes.iter().sum();
-    if total == 0 || sizes.is_empty() {
+    if total == 0 || sizes.len() < 2 {
         return 0.0;
     }
     let max = *sizes.iter().max().unwrap();
@@ -133,8 +135,11 @@ pub fn skew_ratio(sizes: &[u64]) -> f64 {
 ///
 /// Pure: the result depends only on `(cfg, sizes)`. Returns `None` when no
 /// partition qualifies, so callers can keep the unsplit fast path untouched.
+/// Empty, all-zero, and single-partition layouts never qualify: a
+/// single-partition layout has mean == its own size, so a `skew_factor < 1`
+/// would otherwise "split" a layout with no imbalance at all.
 pub fn plan_splits(cfg: &SkewConfig, sizes: &[u64]) -> Option<SplitPlan> {
-    if sizes.is_empty() || cfg.split_ways < 2 {
+    if sizes.len() < 2 || cfg.split_ways < 2 {
         return None;
     }
     let total: u64 = sizes.iter().sum();
@@ -258,6 +263,23 @@ mod tests {
         assert_eq!(skew_ratio(&[400, 0, 0, 0]), 4.0);
         assert_eq!(skew_ratio(&[]), 0.0);
         assert_eq!(skew_ratio(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn degenerate_layouts_report_no_skew_and_never_split() {
+        // A single partition has no peers to be skewed against: ratio is 0,
+        // not the misleading 1.0 the max×parts/total formula would give.
+        assert_eq!(skew_ratio(&[7]), 0.0);
+        assert_eq!(skew_ratio(&[0]), 0.0);
+        // …and no split plan, even under a sub-1.0 skew_factor that would
+        // make `rows > factor × mean` trivially true.
+        let eager = SkewConfig::default()
+            .with_skew_factor(0.5)
+            .with_min_part_rows(1);
+        assert_eq!(plan_splits(&eager, &[10_000]), None);
+        assert_eq!(plan_splits(&eager, &[]), None);
+        assert_eq!(plan_splits(&eager, &[0]), None);
+        assert_eq!(plan_splits(&eager, &[0, 0]), None);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Multi-query service: shared-cache concurrency vs. isolated reruns.
+//!
+//! `TENANTS` analyst queries hit the service back to back. Every query
+//! caches the same closed enrichment sub-plan over the full `events`
+//! catalog (`val shared = read("events").map(enrich)` — referenced twice,
+//! so the caching heuristic materializes it) and then derives a
+//! tenant-specific hot-partition slice and a total from it. Run in
+//! isolation, every tenant pays the full scan + enrichment; through the
+//! [`SessionService`], tenant 0 materializes the bag once into the
+//! [`SharedCatalogCache`] and the rest read its copy at cache speed.
+//!
+//! The headline, `speedup_shared_vs_isolated`, is the ratio of summed
+//! isolated simulated seconds to the service's aggregate simulated clock
+//! (CI gates it at ≥ 1.2×). Wall-clock rows measure the real bookkeeping
+//! cost of admission scoring plus the shared-cache probes. Writes
+//! `BENCH_multi_query.json` at the repository root.
+
+use criterion::{criterion_group, take_measurements, Criterion};
+use emma::apis::service::{run_concurrently, ServiceConfig};
+use emma::prelude::*;
+
+const TENANTS: i64 = 6;
+const EVENTS: i64 = 20_000;
+const KEYS: i64 = 16;
+
+/// Records per configuration: every tenant drives the full event log.
+const ROWS: u64 = (TENANTS * EVENTS) as u64;
+
+fn catalog() -> Catalog {
+    Catalog::new().with(
+        "events",
+        (0..EVENTS)
+            .map(|i| Value::tuple(vec![Value::Int(i % KEYS), Value::Int(i)]))
+            .collect(),
+    )
+}
+
+/// The shared enrichment every tenant caches: closed over the catalog, so
+/// it fingerprints identically across sessions.
+fn shared_binding() -> Stmt {
+    Stmt::val(
+        "shared",
+        BagExpr::read("events").map(Lambda::new(
+            ["e"],
+            ScalarExpr::Tuple(vec![
+                ScalarExpr::var("e").get(0),
+                ScalarExpr::var("e")
+                    .get(1)
+                    .mul(ScalarExpr::lit(3i64))
+                    .add(ScalarExpr::lit(1i64)),
+            ]),
+        )),
+    )
+}
+
+fn tenant_program(tag: i64) -> Program {
+    Program::new(vec![
+        shared_binding(),
+        Stmt::write(
+            "hot",
+            BagExpr::var("shared").filter(Lambda::new(
+                ["r"],
+                ScalarExpr::var("r").get(0).eq(ScalarExpr::lit(tag % KEYS)),
+            )),
+        ),
+        Stmt::val(
+            "total",
+            BagExpr::var("shared")
+                .map(Lambda::new(["r"], ScalarExpr::var("r").get(1)))
+                .fold(FoldOp::sum()),
+        ),
+    ])
+}
+
+fn workload() -> (Vec<CompiledProgram>, Catalog) {
+    (
+        (0..TENANTS)
+            .map(|t| parallelize(&tenant_program(t), &OptimizerFlags::all()))
+            .collect(),
+        catalog(),
+    )
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig::default().with_max_concurrent(TENANTS as usize)
+}
+
+fn bench_multi_query(c: &mut Criterion) {
+    let (progs, catalog) = workload();
+    let mut group = c.benchmark_group("multi_query");
+    group.sample_size(10);
+    group.bench_function("isolated_reruns", |b| {
+        b.iter(|| {
+            for p in &progs {
+                std::hint::black_box(Engine::sparrow().run(p, &catalog).expect("isolated"));
+            }
+        })
+    });
+    group.bench_function("shared_service", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_concurrently(
+                Engine::sparrow(),
+                catalog.clone(),
+                &progs,
+                config(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_query);
+
+fn main() {
+    let mut criterion = Criterion::default();
+    benches(&mut criterion);
+    criterion.final_summary();
+
+    let (progs, catalog) = workload();
+    let isolated: Vec<EngineRun> = progs
+        .iter()
+        .map(|p| Engine::sparrow().run(p, &catalog).expect("isolated"))
+        .collect();
+    let isolated_secs: f64 = isolated.iter().map(|r| r.stats.simulated_secs).sum();
+
+    let svc = run_concurrently(Engine::sparrow(), catalog, &progs, config());
+    let stats = *svc.stats();
+    assert_eq!(stats.completed, TENANTS as u64, "every tenant must finish");
+
+    // Sharing must never change what any tenant computes.
+    for (id, solo) in isolated.iter().enumerate() {
+        let run = svc.report(id as u64).run().expect("service run");
+        assert_eq!(solo.writes, run.writes, "tenant {id} rows drifted");
+        assert_eq!(solo.scalars, run.scalars, "tenant {id} scalars drifted");
+    }
+    assert_eq!(
+        stats.shared_cache_cross_hits,
+        TENANTS as u64 - 1,
+        "all later tenants must read tenant 0's materialization"
+    );
+
+    let headline = isolated_secs / stats.simulated_secs;
+    println!(
+        "isolated: {isolated_secs:.2} sim-secs across {TENANTS} reruns; \
+         shared service: {:.2} sim-secs ({} reads, {} hits, {} cross)",
+        stats.simulated_secs,
+        stats.shared_cache_reads,
+        stats.shared_cache_hits,
+        stats.shared_cache_cross_hits
+    );
+
+    let ms = take_measurements();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let results = emma_bench::bench_json(&ms, ROWS);
+    let json = format!(
+        "{{\n  \"bench\": \"multi_query\",\n  \"tenants\": {TENANTS},\n  \"events\": {EVENTS},\n  \"threads\": {threads},\n  \"speedup_shared_vs_isolated\": {headline:.3},\n  \"isolated_sim_secs\": {isolated_secs:.6},\n  \"service_sim_secs\": {:.6},\n  \"shared_cache_reads\": {},\n  \"shared_cache_hits\": {},\n  \"shared_cache_cross_hits\": {},\n  \"sessions_completed\": {},\n  \"results\": [\n{results}\n  ]\n}}\n",
+        stats.simulated_secs,
+        stats.shared_cache_reads,
+        stats.shared_cache_hits,
+        stats.shared_cache_cross_hits,
+        stats.completed,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_multi_query.json");
+    std::fs::write(path, &json).expect("write BENCH_multi_query.json");
+    println!("\nwrote {path}");
+    println!(
+        "headline: shared cache serves {TENANTS} tenants {headline:.2}x faster than isolated \
+         reruns (target >= 1.2x)"
+    );
+    assert!(
+        headline >= 1.2,
+        "shared-cache speedup must clear 1.2x over isolated reruns, got {headline:.3}x"
+    );
+}

@@ -169,6 +169,14 @@ pub struct Engine {
     /// takes effect when the program runs the compiled tier
     /// (`CompiledProgram::compiled_eval`).
     pub vectorized: Option<BatchConfig>,
+    /// Opt-in cross-session result cache installed by the service layer
+    /// ([`crate::service::SessionService`]); `None` (the default) never
+    /// consults it and leaves every counter bit-identical to an engine
+    /// without the feature.
+    pub shared_cache: Option<Arc<crate::service::SharedCatalogCache>>,
+    /// Session id this run's shared-cache traffic is attributed to (only
+    /// meaningful with `shared_cache` set).
+    pub shared_session: u64,
 }
 
 /// Default for [`Engine::parallelism_threshold`]: below this many rows the
@@ -190,6 +198,8 @@ impl Engine {
             checkpoints: None,
             skew: None,
             vectorized: None,
+            shared_cache: None,
+            shared_session: 0,
         }
     }
 
@@ -204,6 +214,13 @@ impl Engine {
     }
 
     /// Sets a simulated-time budget (the paper uses a one-hour timeout).
+    ///
+    /// Ill-formed budgets are normalized at the check site rather than
+    /// trusted: NaN and negative values clamp to `0.0` (every run that
+    /// charges any simulated time aborts with [`ExecError::Timeout`]), and
+    /// `+∞` never fires — the same as no timeout. Without the clamp a NaN
+    /// budget would make the `simulated_secs > budget` comparison silently
+    /// never fire, turning a nonsense configuration into an unlimited one.
     pub fn with_timeout(mut self, secs: f64) -> Self {
         self.timeout_secs = Some(secs);
         self
@@ -284,6 +301,27 @@ impl Engine {
     /// to an engine without the feature.
     pub fn with_vectorized_eval(mut self, cfg: BatchConfig) -> Self {
         self.vectorized = Some(cfg);
+        self
+    }
+
+    /// Installs a cross-session shared result cache
+    /// ([`crate::service::SharedCatalogCache`]), attributing this run's
+    /// traffic to `session`. The first materialization of every evictable,
+    /// cache-enabled thunk whose plan is *closed* (no driver references —
+    /// see [`crate::service::shareable_fingerprint`]) consults the cache: a
+    /// hit is charged as an ordinary cache read and counts in
+    /// [`ExecStats::cache_hits`]; a miss executes the plan as usual and
+    /// publishes the result. With a fresh cache and no duplicate shareable
+    /// cache sites inside the program, no lookup can hit, so the run stays
+    /// bit-identical to the same engine without the cache — which is the
+    /// service layer's single-session identity contract.
+    pub fn with_shared_cache(
+        mut self,
+        cache: Arc<crate::service::SharedCatalogCache>,
+        session: u64,
+    ) -> Self {
+        self.shared_cache = Some(cache);
+        self.shared_session = session;
         self
     }
 
@@ -608,6 +646,11 @@ impl<'a> Session<'a> {
 
     fn check_budget(&self) -> Result<(), ExecError> {
         if let Some(budget) = self.engine.timeout_secs {
+            // Normalized at the use site like the checkpoint `EveryN(0)`
+            // clamp: NaN and negative budgets become 0.0 (deterministic
+            // timeout as soon as any time is charged) instead of a
+            // comparison that silently never fires.
+            let budget = budget.max(0.0);
             if self.stats.simulated_secs > budget {
                 return Err(ExecError::Timeout {
                     at_secs: self.stats.simulated_secs,
@@ -2758,12 +2801,38 @@ impl<'a> Session<'a> {
                 self.charge_cache_read(&hit);
                 return Ok(hit);
             }
+            // First materialization: under a service-installed shared cache
+            // ([`Engine::with_shared_cache`]), closed plans at evictable
+            // cache sites consult the cross-session store before executing.
+            // The lookup/insert outcome is a pure function of the cache
+            // contents at session start — which the service's driver-ordered
+            // scheduler makes a pure function of the submission sequence —
+            // so runs replay bit-identically across thread counts and
+            // dispatch modes.
+            let shared = match (&self.engine.shared_cache, thunk.evictable) {
+                (Some(cache), true) => crate::service::shareable_fingerprint(&thunk.plan)
+                    .map(|fp| (Arc::clone(cache), fp)),
+                _ => None,
+            };
+            if let Some((cache, fp)) = &shared {
+                if let Some(data) = cache.lookup(*fp, &thunk.plan, self.engine.shared_session) {
+                    // Served from the shared store: pay a cache read instead
+                    // of plan execution plus a cache write.
+                    self.stats.cache_hits += 1;
+                    self.charge_cache_read(&data);
+                    *thunk.memo.lock().unwrap() = Some(data.clone());
+                    return Ok(data);
+                }
+            }
             let splits_before = self.stats.partitions_split;
             let result = self.exec_bag(&thunk.plan.clone(), &thunk.env.clone())?;
             self.stats.cache_misses += 1;
             self.charge_cache_write(&result);
             let split = self.stats.partitions_split > splits_before;
             self.maybe_checkpoint(thunk, &result, split);
+            if let Some((cache, fp)) = shared {
+                cache.insert(fp, &thunk.plan, result.clone(), self.engine.shared_session);
+            }
             *thunk.memo.lock().unwrap() = Some(result.clone());
             Ok(result)
         } else {

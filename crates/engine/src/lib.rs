@@ -33,6 +33,7 @@ pub mod fault;
 pub mod metrics;
 pub mod ordmap;
 pub mod pool;
+pub mod service;
 pub mod skew;
 
 pub use cluster::{ClusterSpec, Personality};
@@ -44,4 +45,8 @@ pub use fault::{
 };
 pub use metrics::{ExecError, ExecStats};
 pub use pool::{ParallelismMode, WorkerPool};
+pub use service::{
+    AdmissionDecision, CostEstimate, ServiceConfig, ServiceStats, SessionCacheStats, SessionReport,
+    SessionService, SharedCatalogCache,
+};
 pub use skew::SkewConfig;

@@ -122,7 +122,7 @@ pub struct ExecStats {
 }
 
 /// Attoseconds per second — the resolution of the simulated clock.
-const ATTOS_PER_SEC: f64 = 1e18;
+pub(crate) const ATTOS_PER_SEC: f64 = 1e18;
 
 impl ExecStats {
     /// Adds simulated time.
@@ -132,10 +132,28 @@ impl ExecStats {
     /// rounding is per-charge-value (deterministic), so any two executions
     /// that issue the same multiset of charges — regardless of order — end
     /// at bit-identical `simulated_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or negative charge — in release builds too.
+    /// A NaN or negative `secs` would otherwise saturate to 0 in the
+    /// `as u128` cast and silently desync the sim clock from the charges
+    /// actually issued; a corrupted clock is worse than an abort, because
+    /// every determinism check downstream compares it bit-for-bit.
     pub fn charge_secs(&mut self, secs: f64) {
-        debug_assert!(secs.is_finite() && secs >= 0.0, "bad charge: {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "bad simulated-time charge: {secs}"
+        );
         self.sim_attos += (secs * ATTOS_PER_SEC).round() as u128;
         self.simulated_secs = self.sim_attos as f64 / ATTOS_PER_SEC;
+    }
+
+    /// The exact fixed-point clock, in attoseconds. Lets the service layer
+    /// aggregate session clocks with the same order-independent integer
+    /// arithmetic the per-run clock uses.
+    pub(crate) fn sim_attos(&self) -> u128 {
+        self.sim_attos
     }
 
     /// The `n` most expensive operator kinds, by exclusive simulated time,
@@ -351,6 +369,29 @@ mod tests {
         s.charge_secs(1.5);
         s.charge_secs(2.5);
         assert!((s.simulated_secs - 4.0).abs() < 1e-12);
+    }
+
+    // Regression (release-mode clock corruption): `charge_secs` used to
+    // guard bad charges with `debug_assert!` only, so in release a NaN or
+    // negative value rode through `(secs * ATTOS_PER_SEC).round() as u128`,
+    // saturated to 0, and silently desynced the sim clock. The guard is now
+    // a hard `assert!` identical in both build modes.
+    #[test]
+    #[should_panic(expected = "bad simulated-time charge")]
+    fn charge_rejects_nan() {
+        ExecStats::default().charge_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad simulated-time charge")]
+    fn charge_rejects_negative() {
+        ExecStats::default().charge_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad simulated-time charge")]
+    fn charge_rejects_infinity() {
+        ExecStats::default().charge_secs(f64::INFINITY);
     }
 
     #[test]

@@ -344,3 +344,40 @@ fn writes_charge_storage_and_record_rows() {
     assert!(run.stats.bytes_written_storage > 0);
     assert!(run.stats.bytes_read_storage > 0);
 }
+
+// Regression (ill-formed timeout budgets): `with_timeout` used to pass NaN,
+// negative, and zero budgets straight into `simulated_secs > budget` — a NaN
+// budget made the comparison silently never fire, turning a nonsense config
+// into an unlimited one. Budgets now normalize at the check site
+// (`budget.max(0.0)`): NaN and negative clamp to 0, so every run that
+// charges any simulated time deterministically times out.
+#[test]
+fn degenerate_timeout_budgets_fire_deterministically() {
+    let catalog = Catalog::new().with("xs", (0..1_000).map(|i| kv(i, i)).collect());
+    let p = Program::new(vec![Stmt::write("out", BagExpr::read("xs"))]);
+    let compiled = parallelize(&p, &OptimizerFlags::all());
+    for bad in [f64::NAN, -1.0, 0.0] {
+        let err = engine()
+            .with_timeout(bad)
+            .run(&compiled, &catalog)
+            .expect_err("budget {bad} must abort a run that charges time");
+        match err {
+            emma_engine::ExecError::Timeout {
+                at_secs,
+                budget_secs,
+            } => {
+                assert!(at_secs > 0.0, "aborted at {at_secs}s under budget {bad}");
+                // The error reports the *normalized* budget the check ran
+                // against, so the message never prints NaN or a negative.
+                assert_eq!(budget_secs.to_bits(), 0f64.to_bits());
+            }
+            other => panic!("budget {bad}: expected Timeout, got {other}"),
+        }
+    }
+    // +∞ stays unlimited — the same as no timeout.
+    let run = engine()
+        .with_timeout(f64::INFINITY)
+        .run(&compiled, &catalog)
+        .expect("infinite budget never fires");
+    assert_eq!(run.writes["out"].len(), 1_000);
+}

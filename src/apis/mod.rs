@@ -2,11 +2,14 @@
 //! stated future work (§7: *"We are developing linear algebra and graph
 //! processing APIs on top of the DataBag API"*).
 //!
-//! Both APIs are thin, domain-agnostic layers: [`graph`] expresses
+//! All three APIs are thin, domain-agnostic layers: [`graph`] expresses
 //! vertex-centric iteration through `StatefulBag` point-wise updates exactly
-//! as Section 3.1 prescribes, and [`linalg`] represents sparse matrices as
+//! as Section 3.1 prescribes, [`linalg`] represents sparse matrices as
 //! bags of coordinate triples whose operations are comprehensions and folds
-//! — so everything they do stays inside the optimizable core language.
+//! — so everything they do stays inside the optimizable core language —
+//! and [`service`] serves many compiled programs concurrently over one
+//! shared store of cached bags.
 
 pub mod graph;
 pub mod linalg;
+pub mod service;

@@ -82,7 +82,8 @@ pub mod prelude {
     pub use emma_compiler::value::{Value, ValueError};
     pub use emma_core::{DataBag, Grp, Keyed, StatefulBag};
     pub use emma_engine::{
-        BatchConfig, CheckpointConfig, CheckpointPolicy, ClusterSpec, CostDrivenConfig, Engine,
-        EngineRun, ExecError, ExecStats, FaultConfig, Personality, SkewConfig,
+        AdmissionDecision, BatchConfig, CheckpointConfig, CheckpointPolicy, ClusterSpec,
+        CostDrivenConfig, Engine, EngineRun, ExecError, ExecStats, FaultConfig, Personality,
+        ServiceConfig, ServiceStats, SessionService, SkewConfig,
     };
 }

@@ -20,6 +20,7 @@
 use criterion::{criterion_group, take_measurements, Criterion, Measurement};
 use emma::prelude::*;
 use emma_bench::lambda_chain::{self, ROWS, STAGES};
+use emma_bench::string_filter;
 use emma_engine::ParallelismMode;
 
 /// Batch size for the vectorized configuration (the `BatchConfig` default).
@@ -51,7 +52,31 @@ fn bench_batch_eval(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_eval);
+/// The string-workload leg: the email-domain `contains` filter chain
+/// ([`emma_bench::string_filter`], 1 M `(i64, Str)` rows) through the same
+/// three tiers. The head stage scans every email for `gmail.com` and keeps
+/// ~15 %; the ratio is the headline number for the string kernels.
+fn bench_batch_eval_strings(c: &mut Criterion) {
+    let catalog = string_filter::catalog();
+    let scalar_engine = pool_engine();
+    let vector_engine = pool_engine().with_vectorized_eval(BatchConfig::new(BATCH_ROWS));
+    let mut group = c.benchmark_group("batch_eval_strings");
+    group.sample_size(8);
+    let configs: [(&str, &Engine, bool); 3] = [
+        ("interp_fused_pool", &scalar_engine, false),
+        ("scalar_compiled_pool", &scalar_engine, true),
+        ("vectorized_pool", &vector_engine, true),
+    ];
+    for (name, engine, compiled_eval) in configs {
+        let prog = string_filter::program(compiled_eval, false);
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(engine.run(&prog, &catalog).expect("run")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_eval, bench_batch_eval_strings);
 
 fn mean_of<'a>(ms: &'a [Measurement], id: &str) -> Option<&'a Measurement> {
     ms.iter().find(|m| m.id == id)
@@ -73,6 +98,25 @@ fn main() {
     );
     drop(run);
     drop(catalog);
+    // Same preflight for the string chain: the `contains` head, the string
+    // comparison, and the `strlen` collapse must all run in the batch tier,
+    // and no wide operator may quietly fall off the vectorized key path.
+    let catalog = string_filter::catalog();
+    let run = pool_engine()
+        .with_vectorized_eval(BatchConfig::new(BATCH_ROWS))
+        .run(&string_filter::program(true, false), &catalog)
+        .expect("vectorized string run");
+    assert!(
+        run.stats.rows_vectorized >= string_filter::ROWS as u64
+            && run.stats.vector_fallbacks == 0
+            && run.stats.key_path_fallbacks == 0,
+        "string chain must fully vectorize (got {}r vectorized, {} fallbacks, {} key fallbacks)",
+        run.stats.rows_vectorized,
+        run.stats.vector_fallbacks,
+        run.stats.key_path_fallbacks
+    );
+    drop(run);
+    drop(catalog);
 
     let mut criterion = Criterion::default();
     benches(&mut criterion);
@@ -82,9 +126,9 @@ fn main() {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let (speedup, speedup_min) = match (
-        mean_of(&ms, "batch_eval/scalar_compiled_pool"),
-        mean_of(&ms, "batch_eval/vectorized_pool"),
+    let tier_speedups = |group: &str| match (
+        mean_of(&ms, &format!("{group}/scalar_compiled_pool")),
+        mean_of(&ms, &format!("{group}/vectorized_pool")),
     ) {
         (Some(scalar), Some(vectorized)) => (
             scalar.mean_ns / vectorized.mean_ns,
@@ -94,9 +138,13 @@ fn main() {
         ),
         _ => (f64::NAN, f64::NAN),
     };
+    let (speedup, speedup_min) = tier_speedups("batch_eval");
+    let (str_speedup, str_speedup_min) = tier_speedups("batch_eval_strings");
     let results = emma_bench::bench_json(&ms, ROWS as u64);
     let json = format!(
-        "{{\n  \"bench\": \"batch_eval\",\n  \"rows\": {ROWS},\n  \"stages\": {STAGES},\n  \"batch_rows\": {BATCH_ROWS},\n  \"threads\": {threads},\n  \"speedup_vectorized_vs_scalar\": {speedup:.3},\n  \"speedup_vectorized_vs_scalar_min\": {speedup_min:.3},\n  \"results\": [\n{results}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"batch_eval\",\n  \"rows\": {ROWS},\n  \"stages\": {STAGES},\n  \"batch_rows\": {BATCH_ROWS},\n  \"threads\": {threads},\n  \"speedup_vectorized_vs_scalar\": {speedup:.3},\n  \"speedup_vectorized_vs_scalar_min\": {speedup_min:.3},\n  \"string_rows\": {},\n  \"string_stages\": {},\n  \"speedup_vectorized_vs_scalar_strings\": {str_speedup:.3},\n  \"speedup_vectorized_vs_scalar_strings_min\": {str_speedup_min:.3},\n  \"results\": [\n{results}\n  ]\n}}\n",
+        string_filter::ROWS,
+        string_filter::STAGES,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch_eval.json");
     std::fs::write(path, &json).expect("write BENCH_batch_eval.json");
@@ -104,7 +152,8 @@ fn main() {
     println!(
         "vectorized_pool vs scalar_compiled_pool speedup: {speedup:.2}x mean, {speedup_min:.2}x fastest-sample ({threads} threads, batch {BATCH_ROWS})"
     );
-    // CI smoke gate. The fastest-sample ratio is the headline on shared
+    println!("string leg: {str_speedup:.2}x mean, {str_speedup_min:.2}x fastest-sample");
+    // CI smoke gates. The fastest-sample ratio is the headline on shared
     // runners: slow outliers inflate both means, but the best sample of
     // each configuration is comparable.
     assert!(
@@ -112,5 +161,11 @@ fn main() {
         "vectorized tier must deliver >= 1.2x wall speedup over the scalar \
          compiled tier on the lambda-heavy chain, got {speedup:.3}x mean / \
          {speedup_min:.3}x fastest-sample"
+    );
+    assert!(
+        str_speedup.max(str_speedup_min) >= 1.2,
+        "string kernels must deliver >= 1.2x wall speedup over the scalar \
+         compiled tier on the email-domain chain, got {str_speedup:.3}x mean / \
+         {str_speedup_min:.3}x fastest-sample"
     );
 }

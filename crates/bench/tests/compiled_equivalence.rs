@@ -60,6 +60,7 @@ fn without_vec_telemetry(stats: &ExecStats) -> ExecStats {
     s.rows_vectorized = 0;
     s.batches_executed = 0;
     s.vector_fallbacks = 0;
+    s.key_path_fallbacks = 0;
     s
 }
 

@@ -255,6 +255,31 @@ impl BagExpr {
         }
     }
 
+    /// Static per-input-byte CPU cost of evaluating this chain per driving
+    /// element (sums the lambdas' [`Lambda::static_byte_cost`]s; sources are
+    /// byte-free). The bag analogue of [`ScalarExpr::static_byte_cost`].
+    pub fn static_byte_cost(&self) -> f64 {
+        match self {
+            BagExpr::Read { .. } | BagExpr::Values(_) | BagExpr::Ref { .. } => 0.0,
+            BagExpr::OfValue(e) => e.static_byte_cost(),
+            BagExpr::Map { input, f } | BagExpr::Filter { input, p: f } => {
+                input.static_byte_cost() + f.static_byte_cost()
+            }
+            BagExpr::FlatMap { input, f } => input.static_byte_cost() + f.body.static_byte_cost(),
+            BagExpr::GroupBy { input, key } => input.static_byte_cost() + key.static_byte_cost(),
+            BagExpr::AggBy { input, key, fold } => {
+                input.static_byte_cost()
+                    + key.static_byte_cost()
+                    + fold.sng.static_byte_cost()
+                    + fold.uni.static_byte_cost()
+            }
+            BagExpr::Plus(l, r) | BagExpr::Minus(l, r) => {
+                l.static_byte_cost() + r.static_byte_cost()
+            }
+            BagExpr::Distinct(e) => e.static_byte_cost(),
+        }
+    }
+
     /// Free variables (bag refs *and* scalar vars) of this expression.
     pub fn free_vars(&self) -> HashSet<String> {
         let mut out = HashSet::new();

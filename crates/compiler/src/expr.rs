@@ -109,8 +109,24 @@ impl BuiltinFn {
             BuiltinFn::HashOf => 300_000.0,
             BuiltinFn::Dist => 40.0,
             BuiltinFn::VecAdd | BuiltinFn::VecDiv | BuiltinFn::VecScale => 8.0,
-            BuiltinFn::StrContains => 16.0,
+            // Flat call overhead only — the length-proportional scan is
+            // charged separately via [`byte_weight`](Self::byte_weight).
+            BuiltinFn::StrContains => 4.0,
             _ => 1.0,
+        }
+    }
+
+    /// Relative CPU weight of one call **per input byte**, for builtins whose
+    /// work scales with operand length rather than being O(1) per call.
+    /// `StrContains` scans its haystack; everything else is length-free (or,
+    /// like `HashOf`, already modeled as a flat stand-in for fixed-size
+    /// work). The engine charges this against the operator's input bytes on
+    /// the driver, so the charge is identical whichever evaluation tier —
+    /// interpreter, compiled, or vectorized — actually ran the rows.
+    pub fn byte_weight(&self) -> f64 {
+        match self {
+            BuiltinFn::StrContains => 0.125,
+            _ => 0.0,
         }
     }
 
@@ -415,6 +431,12 @@ impl Lambda {
         self.body.static_cost()
     }
 
+    /// Static per-input-byte CPU cost of one application (see
+    /// [`ScalarExpr::static_byte_cost`]).
+    pub fn static_byte_cost(&self) -> f64 {
+        self.body.static_byte_cost()
+    }
+
     /// Alpha-equivalence: structural equality modulo parameter names.
     ///
     /// Used to compare partitioning keys (e.g. "is this input already hash
@@ -595,6 +617,32 @@ impl ScalarExpr {
                 4.0 + fold.zero.static_cost() + fold.sng.static_cost() + fold.uni.static_cost()
             }
             ScalarExpr::BagOf(_) => 4.0,
+        }
+    }
+
+    /// Static per-input-byte CPU cost: the sum of [`BuiltinFn::byte_weight`]
+    /// over every call site, mirroring the [`static_cost`](Self::static_cost)
+    /// traversal. Non-zero only for bodies containing length-proportional
+    /// builtins (today: `StrContains`); `If` takes the worse branch, like
+    /// `static_cost`.
+    pub fn static_byte_cost(&self) -> f64 {
+        match self {
+            ScalarExpr::Lit(_) | ScalarExpr::Var(_) => 0.0,
+            ScalarExpr::Field(inner, _) | ScalarExpr::UnOp(_, inner) => inner.static_byte_cost(),
+            ScalarExpr::BinOp(_, l, r) => l.static_byte_cost() + r.static_byte_cost(),
+            ScalarExpr::Call(f, args) => {
+                f.byte_weight() + args.iter().map(ScalarExpr::static_byte_cost).sum::<f64>()
+            }
+            ScalarExpr::Tuple(args) => args.iter().map(ScalarExpr::static_byte_cost).sum::<f64>(),
+            ScalarExpr::If(c, t, e) => {
+                c.static_byte_cost() + t.static_byte_cost().max(e.static_byte_cost())
+            }
+            ScalarExpr::Fold(_, fold) => {
+                fold.zero.static_byte_cost()
+                    + fold.sng.static_byte_cost()
+                    + fold.uni.static_byte_cost()
+            }
+            ScalarExpr::BagOf(_) => 0.0,
         }
     }
 

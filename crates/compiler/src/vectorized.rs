@@ -7,18 +7,27 @@
 //! — for `Arc`-backed rows — refcount traffic. This module adds the third
 //! tier: a **static type-inference pass** over a compiled slot program (or a
 //! fused chain of them) classifies every opcode as specializable over typed
-//! `i64`/`f64`/`bool` columns or not, and fully-specializable programs are
-//! re-lowered into a flat array of **column kernels** executed over reusable
-//! scratch buffers in batches of [`BatchConfig::batch_rows`] rows.
+//! `i64`/`f64`/`bool`/string columns or not, and fully-specializable programs
+//! are re-lowered into a flat array of **column kernels** executed over
+//! reusable scratch buffers in batches of [`BatchConfig::batch_rows`] rows.
 //!
 //! Design points:
 //!
 //! - **Specialization is all-or-nothing per program.** [`specialize`]
-//!   returns `None` the moment any opcode resists typing (string/vector
-//!   ops, nested folds, bag construction, an unbound capture, a static type
+//!   returns `None` the moment any opcode resists typing (vector ops,
+//!   nested folds, bag construction, an unbound capture, a static type
 //!   that would make the reference semantics error on every row); the
 //!   caller falls back to the scalar `Machine` for that operator and
 //!   reports it (`ExecStats::vector_fallbacks`) — no silent slow paths.
+//! - **String columns are offset+bytes arenas.** A `Str`-typed slot loads
+//!   into one shared byte buffer plus per-lane `(start, len)` ranges
+//!   ([`StrCol`]); `str_len`, `str_contains`, string equality/comparison,
+//!   and string `hash_of` run as byte-slice kernels over those ranges.
+//!   When the driver-side sample shows low cardinality
+//!   ([`specialize_sampled`]) the load additionally dictionary-encodes the
+//!   column so hash/contains kernels compute once per *distinct* value. A
+//!   batch whose strings would outgrow the arena's `u32` offsets aborts to
+//!   the scalar tier like any other non-conforming batch.
 //! - **Branch-free `If` via selection vectors.** `JumpIfFalse`/`Jump` pairs
 //!   are recovered into structured branches; each branch's kernels execute
 //!   only over the lanes selected for it, so an error (or a debug-mode
@@ -48,6 +57,7 @@
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 use crate::compiled::{CompiledEval, Op};
 use crate::expr::{BinOp, BuiltinFn, UnOp};
@@ -86,8 +96,10 @@ enum Shape {
     I64,
     F64,
     Bool,
-    /// A type the kernels cannot compute on (Null, Str, Vector, Bag):
-    /// loadable only as an opaque pass-through `Value` column.
+    /// A string slot: loads into an offset+bytes arena column.
+    Str,
+    /// A type the kernels cannot compute on (Null, Vector, Bag): loadable
+    /// only as an opaque pass-through `Value` column.
     Other,
     Tuple(Vec<Shape>),
 }
@@ -97,6 +109,7 @@ fn shape_of(v: &Value) -> Shape {
         Value::Int(_) => Shape::I64,
         Value::Float(_) => Shape::F64,
         Value::Bool(_) => Shape::Bool,
+        Value::Str(_) => Shape::Str,
         Value::Tuple(fs) => Shape::Tuple(fs.iter().map(shape_of).collect()),
         _ => Shape::Other,
     }
@@ -328,6 +341,58 @@ enum VInstr {
         pred: Reg,
         dst: SelId,
     },
+    /// Loads a `Str` component into an offset+bytes arena column. `dict`
+    /// additionally dictionary-encodes it — decided at specialization time
+    /// from the driver-side sample, so the decision replays across runs.
+    LoadS {
+        dst: Reg,
+        path: Vec<usize>,
+        dict: bool,
+    },
+    /// Broadcasts one string into every lane (single dictionary entry).
+    SplatS {
+        dst: Reg,
+        v: Arc<str>,
+    },
+    /// `str_len`: the byte length, exactly the interpreter's `len() as i64`.
+    StrLenS {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+    },
+    /// `str_contains(a, b)`: byte-level substring search, equivalent to
+    /// `str::contains` on valid UTF-8. A dictionary-encoded haystack with a
+    /// uniform needle searches once per distinct value.
+    StrContainsS {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// String comparison: `Value::Str` equality is content equality and its
+    /// order is bytewise `str::cmp`, so both are byte-slice comparisons.
+    CmpS {
+        sel: SelId,
+        op: BinOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// `HashOf` over a string column, bit-identical to hashing the
+    /// equivalent `Value::Str`; dictionary-encoded columns hash once per
+    /// distinct value.
+    HashS {
+        sel: SelId,
+        dst: Reg,
+        a: Reg,
+    },
+    MergeS {
+        dst: Reg,
+        ts: SelId,
+        t: Reg,
+        es: SelId,
+        e: Reg,
+    },
 }
 
 /// A typed column reference on the abstract stack during specialization.
@@ -336,6 +401,7 @@ enum VVal {
     I(Reg),
     F(Reg),
     B(Reg),
+    S(Reg),
     V(Reg),
     Tup(Vec<VVal>),
     /// A not-yet-loaded input component; loads are emitted lazily on first
@@ -352,6 +418,7 @@ enum TR {
     I(Reg),
     F(Reg),
     B(Reg),
+    S(Reg),
     V(Reg),
 }
 
@@ -360,6 +427,7 @@ fn tr_val(tr: TR) -> VVal {
         TR::I(r) => VVal::I(r),
         TR::F(r) => VVal::F(r),
         TR::B(r) => VVal::B(r),
+        TR::S(r) => VVal::S(r),
         TR::V(r) => VVal::V(r),
     }
 }
@@ -370,6 +438,7 @@ enum MatNode {
     I(Reg),
     F(Reg),
     B(Reg),
+    S(Reg),
     V(Reg),
     Tup(Vec<MatNode>),
 }
@@ -392,6 +461,60 @@ pub enum VecStageSpec<'a> {
     Filter(&'a CompiledEval, &'a [Option<Value>]),
 }
 
+/// A batch-local string column: one shared byte arena plus per-lane
+/// `(start, len)` ranges — the offset+bytes layout of columnar engines.
+///
+/// When the load was dictionary-encoded (low sample cardinality), `dict`
+/// holds each distinct string's arena range in first-appearance order and
+/// `codes` maps lanes to dictionary entries, letting per-distinct kernels
+/// (hash, contains-with-uniform-needle) compute once per distinct value.
+/// The per-lane ranges stay valid either way, so every kernel can always
+/// take the generic per-lane path.
+#[derive(Clone, Debug, Default)]
+struct StrCol {
+    bytes: Vec<u8>,
+    starts: Vec<u32>,
+    lens: Vec<u32>,
+    /// Per-lane dictionary codes; empty when the column is not encoded.
+    codes: Vec<u32>,
+    /// Per-code `(start, len)` into `bytes`; empty when not encoded.
+    dict: Vec<(u32, u32)>,
+}
+
+impl StrCol {
+    fn clear(&mut self) {
+        self.bytes.clear();
+        self.starts.clear();
+        self.lens.clear();
+        self.codes.clear();
+        self.dict.clear();
+    }
+
+    /// The byte slice of lane `l`.
+    fn lane(&self, l: usize) -> &[u8] {
+        let s = self.starts[l] as usize;
+        &self.bytes[s..s + self.lens[l] as usize]
+    }
+
+    /// The byte slice of dictionary entry `c`.
+    fn dict_entry(&self, c: usize) -> &[u8] {
+        let (s, len) = self.dict[c];
+        &self.bytes[s as usize..(s + len) as usize]
+    }
+
+    /// Appends `b` to the arena, returning its range — `None` when the
+    /// arena would outgrow the `u32` offset width (the caller aborts the
+    /// batch and the scalar tier replays it).
+    fn push_bytes(&mut self, b: &[u8]) -> Option<(u32, u32)> {
+        let start = self.bytes.len();
+        if start + b.len() > u32::MAX as usize {
+            return None;
+        }
+        self.bytes.extend_from_slice(b);
+        Some((start as u32, b.len() as u32))
+    }
+}
+
 /// A fully-specialized columnar program for one operator (or one fused
 /// Map/Filter chain). Immutable and shareable across worker threads; each
 /// task evaluates it with its own [`VectorScratch`].
@@ -401,6 +524,7 @@ pub struct VectorPipeline {
     n_i: usize,
     n_f: usize,
     n_b: usize,
+    n_s: usize,
     n_v: usize,
     n_sels: usize,
     /// Selection active at each stage's entry (drives the engine's
@@ -417,6 +541,7 @@ pub struct VectorScratch {
     i: Vec<Vec<i64>>,
     f: Vec<Vec<f64>>,
     b: Vec<Vec<bool>>,
+    s: Vec<StrCol>,
     v: Vec<Vec<Value>>,
     sels: Vec<Vec<u32>>,
 }
@@ -432,10 +557,22 @@ pub struct VectorScratch {
 /// row's *shape* — so given deterministic data, specialization decisions
 /// replay identically across runs, thread counts, and dispatch modes.
 pub fn specialize(stages: &[VecStageSpec<'_>], sample: &Value) -> Option<VectorPipeline> {
-    let mut b = Builder {
-        n_sels: 1, // sel 0 = the full batch
-        ..Builder::default()
-    };
+    specialize_sampled(stages, std::slice::from_ref(sample))
+}
+
+/// [`specialize`] with a multi-row driver-side sample. The first row
+/// defines the input shape exactly as before; the remaining rows only
+/// inform *encoding* decisions — a `Str` slot whose sampled values are
+/// low-cardinality ([`StrCol`]'s dictionary heuristic: at least
+/// [`DICT_MIN_SAMPLE`] conforming samples with at most half as many
+/// distinct values) loads dictionary-encoded. Still a pure function of the
+/// programs, captures, and sample, so decisions replay deterministically.
+pub fn specialize_sampled(
+    stages: &[VecStageSpec<'_>],
+    samples: &[Value],
+) -> Option<VectorPipeline> {
+    let sample = samples.first()?;
+    let mut b = Builder::new(samples);
     let mut cur = VVal::Arg {
         path: Vec::new(),
         shape: shape_of(sample),
@@ -485,6 +622,7 @@ pub fn specialize(stages: &[VecStageSpec<'_>], sample: &Value) -> Option<VectorP
         n_i: b.n_i,
         n_f: b.n_f,
         n_b: b.n_b,
+        n_s: b.n_s,
         n_v: b.n_v,
         n_sels: b.n_sels,
         stage_sels,
@@ -493,12 +631,19 @@ pub fn specialize(stages: &[VecStageSpec<'_>], sample: &Value) -> Option<VectorP
     })
 }
 
-#[derive(Default)]
-struct Builder {
+/// Minimum conforming sample rows before the dictionary heuristic may
+/// fire — a dictionary decided from a couple of rows is noise.
+pub const DICT_MIN_SAMPLE: usize = 8;
+
+struct Builder<'s> {
+    /// The driver-side sample rows (shape from the first, encoding
+    /// decisions from all of them).
+    samples: &'s [Value],
     instrs: Vec<VInstr>,
     n_i: usize,
     n_f: usize,
     n_b: usize,
+    n_s: usize,
     n_v: usize,
     n_sels: usize,
     /// Selection the currently-lowered expression evaluates under (branch
@@ -509,7 +654,41 @@ struct Builder {
     loads: HashMap<Vec<usize>, TR>,
 }
 
-impl Builder {
+impl<'s> Builder<'s> {
+    fn new(samples: &'s [Value]) -> Self {
+        Builder {
+            samples,
+            instrs: Vec::new(),
+            n_i: 0,
+            n_f: 0,
+            n_b: 0,
+            n_s: 0,
+            n_v: 0,
+            n_sels: 1, // sel 0 = the full batch
+            cur_sel: 0,
+            loads: HashMap::new(),
+        }
+    }
+
+    /// Low-cardinality check for a `Str` slot: dictionary-encode when at
+    /// least [`DICT_MIN_SAMPLE`] sampled rows conform and at most half of
+    /// them are distinct. Non-conforming sample rows are simply skipped —
+    /// conformance is enforced per batch by the load itself.
+    fn dict_for_path(&self, path: &[usize]) -> bool {
+        let mut seen: Vec<&str> = Vec::new();
+        let mut total = 0usize;
+        for row in self.samples {
+            if let Some(Value::Str(st)) = path_get(row, path) {
+                total += 1;
+                let st: &str = st;
+                if !seen.contains(&st) {
+                    seen.push(st);
+                }
+            }
+        }
+        total >= DICT_MIN_SAMPLE && seen.len() * 2 <= total
+    }
+
     fn new_i(&mut self) -> Reg {
         self.n_i += 1;
         self.n_i - 1
@@ -521,6 +700,10 @@ impl Builder {
     fn new_b(&mut self) -> Reg {
         self.n_b += 1;
         self.n_b - 1
+    }
+    fn new_s(&mut self) -> Reg {
+        self.n_s += 1;
+        self.n_s - 1
     }
     fn new_v(&mut self) -> Reg {
         self.n_v += 1;
@@ -658,6 +841,11 @@ impl Builder {
                 self.instrs.push(VInstr::SplatB { dst, v: *b });
                 VVal::B(dst)
             }
+            Value::Str(st) => {
+                let dst = self.new_s();
+                self.instrs.push(VInstr::SplatS { dst, v: st.clone() });
+                VVal::S(dst)
+            }
             Value::Tuple(fs) => {
                 let mut parts = Vec::with_capacity(fs.len());
                 for f in fs.iter() {
@@ -665,7 +853,7 @@ impl Builder {
                 }
                 VVal::Tup(parts)
             }
-            // Opaque pass-through (Null, Str, Vector, Bag): usable only in
+            // Opaque pass-through (Null, Vector, Bag): usable only in
             // output tuples, never as a kernel operand.
             other => {
                 let dst = self.new_v();
@@ -711,6 +899,7 @@ impl Builder {
             VVal::I(r) => Some(TR::I(r)),
             VVal::F(r) => Some(TR::F(r)),
             VVal::B(r) => Some(TR::B(r)),
+            VVal::S(r) => Some(TR::S(r)),
             VVal::V(r) => Some(TR::V(r)),
             VVal::Tup(_) => None,
             VVal::Arg { path, shape } => {
@@ -741,6 +930,16 @@ impl Builder {
                             path: path.clone(),
                         });
                         TR::B(dst)
+                    }
+                    Shape::Str => {
+                        let dict = self.dict_for_path(&path);
+                        let dst = self.new_s();
+                        self.instrs.push(VInstr::LoadS {
+                            dst,
+                            path: path.clone(),
+                            dict,
+                        });
+                        TR::S(dst)
                     }
                     Shape::Other => {
                         let dst = self.new_v();
@@ -839,8 +1038,13 @@ impl Builder {
                         self.instrs.push(VInstr::CmpB { sel, op, dst, a, b });
                         Some(VVal::B(dst))
                     }
-                    // Cross-rank comparisons (and tuple/string equality)
-                    // stay scalar.
+                    (TR::S(a), TR::S(b)) => {
+                        let dst = self.new_b();
+                        self.instrs.push(VInstr::CmpS { sel, op, dst, a, b });
+                        Some(VVal::B(dst))
+                    }
+                    // Cross-rank comparisons (and tuple equality) stay
+                    // scalar.
                     _ => None,
                 }
             }
@@ -943,11 +1147,34 @@ impl Builder {
                     TR::I(a) => self.instrs.push(VInstr::HashI { sel, dst, a }),
                     TR::F(a) => self.instrs.push(VInstr::HashF { sel, dst, a }),
                     TR::B(a) => self.instrs.push(VInstr::HashB { sel, dst, a }),
+                    TR::S(a) => self.instrs.push(VInstr::HashS { sel, dst, a }),
                     _ => return None,
                 }
                 Some(VVal::I(dst))
             }
-            // String and vector builtins stay scalar.
+            BuiltinFn::StrLen => match self.resolve(args.pop()?)? {
+                TR::S(a) => {
+                    let dst = self.new_i();
+                    self.instrs.push(VInstr::StrLenS { sel, dst, a });
+                    Some(VVal::I(dst))
+                }
+                // `str_len` on a non-string errors per row (`as_str`).
+                _ => None,
+            },
+            BuiltinFn::StrContains => {
+                let needle = args.pop()?;
+                let hay = args.pop()?;
+                match (self.resolve(hay)?, self.resolve(needle)?) {
+                    (TR::S(a), TR::S(b)) => {
+                        let dst = self.new_b();
+                        self.instrs.push(VInstr::StrContainsS { sel, dst, a, b });
+                        Some(VVal::B(dst))
+                    }
+                    // Non-string operands error per row (`as_str`).
+                    _ => None,
+                }
+            }
+            // Vector builtins stay scalar.
             _ => None,
         }
     }
@@ -984,6 +1211,11 @@ impl Builder {
                         let dst = self.new_b();
                         self.instrs.push(VInstr::MergeB { dst, ts, t, es, e });
                         Some(VVal::B(dst))
+                    }
+                    (TR::S(t), TR::S(e)) => {
+                        let dst = self.new_s();
+                        self.instrs.push(VInstr::MergeS { dst, ts, t, es, e });
+                        Some(VVal::S(dst))
                     }
                     (TR::V(t), TR::V(e)) => {
                         let dst = self.new_v();
@@ -1027,6 +1259,7 @@ impl Builder {
                 TR::I(r) => MatNode::I(r),
                 TR::F(r) => MatNode::F(r),
                 TR::B(r) => MatNode::B(r),
+                TR::S(r) => MatNode::S(r),
                 TR::V(r) => MatNode::V(r),
             }),
         }
@@ -1040,6 +1273,39 @@ fn hash_value(v: &Value) -> i64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     v.hash(&mut h);
     (h.finish() & 0x7fff_ffff_ffff_ffff) as i64
+}
+
+/// `HashOf` over a string's bytes without materializing a `Value`: replays
+/// `Value::Str`'s `Hash` impl byte-for-byte (the `3u8` discriminant, then
+/// `str::hash` = the bytes plus a `0xff` terminator), so results are
+/// bit-identical to the interpreter's. Pinned against [`hash_value`] by
+/// `string_hash_kernel_matches_value_hash`.
+fn hash_str_bytes(bytes: &[u8]) -> i64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    h.write_u8(3);
+    h.write(bytes);
+    h.write_u8(0xff);
+    (h.finish() & 0x7fff_ffff_ffff_ffff) as i64
+}
+
+/// Byte-level substring search, equivalent to `str::contains` for valid
+/// UTF-8 (a byte-level match cannot straddle a char boundary in
+/// well-formed input).
+fn contains_bytes(hay: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if needle.len() > hay.len() {
+        return false;
+    }
+    let first = needle[0];
+    for i in 0..=(hay.len() - needle.len()) {
+        if hay[i] == first && hay[i..i + needle.len()] == *needle {
+            return true;
+        }
+    }
+    false
 }
 
 fn cmp_holds(op: BinOp, o: Ordering) -> bool {
@@ -1078,6 +1344,7 @@ impl VectorPipeline {
             i: vec![Vec::new(); self.n_i],
             f: vec![Vec::new(); self.n_f],
             b: vec![Vec::new(); self.n_b],
+            s: vec![StrCol::default(); self.n_s],
             v: vec![Vec::new(); self.n_v],
             sels: vec![Vec::new(); self.n_sels],
         }
@@ -1141,6 +1408,9 @@ fn mat_value(m: &MatNode, s: &VectorScratch, l: usize) -> Value {
         MatNode::I(r) => Value::Int(s.i[*r][l]),
         MatNode::F(r) => Value::Float(s.f[*r][l]),
         MatNode::B(r) => Value::Bool(s.b[*r][l]),
+        MatNode::S(r) => Value::str(
+            std::str::from_utf8(s.s[*r].lane(l)).expect("string arena holds whole UTF-8 strings"),
+        ),
         MatNode::V(r) => s.v[*r][l].clone(),
         MatNode::Tup(fs) => Value::tuple(fs.iter().map(|f| mat_value(f, s, l)).collect::<Vec<_>>()),
     }
@@ -1566,6 +1836,187 @@ fn step(instr: &VInstr, rows: &[Value], s: &mut VectorScratch, n: usize) -> bool
             }
             s.sels[*dst] = d;
         }
+        LoadS { dst, path, dict } => {
+            let mut d = std::mem::take(&mut s.s[*dst]);
+            d.clear();
+            d.starts.reserve(n);
+            d.lens.reserve(n);
+            let ok = if *dict {
+                load_str_dict(&mut d, rows, path)
+            } else {
+                load_str_plain(&mut d, rows, path)
+            };
+            s.s[*dst] = d;
+            return ok;
+        }
+        SplatS { dst, v } => {
+            let d = &mut s.s[*dst];
+            d.clear();
+            let (start, len) = match d.push_bytes(v.as_bytes()) {
+                Some(r) => r,
+                None => return false, // single string wider than the arena
+            };
+            d.starts.resize(n, start);
+            d.lens.resize(n, len);
+            d.codes.resize(n, 0);
+            d.dict.push((start, len));
+        }
+        StrLenS { sel, dst, a } => {
+            let mut d = std::mem::take(&mut s.i[*dst]);
+            ensure(&mut d, n);
+            let a = &s.s[*a];
+            for &l in &s.sels[*sel] {
+                let l = l as usize;
+                d[l] = a.lens[l] as i64;
+            }
+            s.i[*dst] = d;
+        }
+        StrContainsS { sel, dst, a, b } => {
+            let mut d = std::mem::take(&mut s.b[*dst]);
+            ensure(&mut d, n);
+            {
+                let (a, b) = (&s.s[*a], &s.s[*b]);
+                if !a.dict.is_empty() && b.dict.len() == 1 {
+                    // Uniform needle over a dictionary-encoded haystack:
+                    // search once per distinct value, gather through codes.
+                    let needle = b.dict_entry(0);
+                    let per: Vec<bool> = (0..a.dict.len())
+                        .map(|c| contains_bytes(a.dict_entry(c), needle))
+                        .collect();
+                    for &l in &s.sels[*sel] {
+                        let l = l as usize;
+                        d[l] = per[a.codes[l] as usize];
+                    }
+                } else {
+                    for &l in &s.sels[*sel] {
+                        let l = l as usize;
+                        d[l] = contains_bytes(a.lane(l), b.lane(l));
+                    }
+                }
+            }
+            s.b[*dst] = d;
+        }
+        CmpS { sel, op, dst, a, b } => {
+            let mut d = std::mem::take(&mut s.b[*dst]);
+            ensure(&mut d, n);
+            {
+                let (a, b) = (&s.s[*a], &s.s[*b]);
+                for &l in &s.sels[*sel] {
+                    let l = l as usize;
+                    // `Value::Str` equality is content equality and its
+                    // order is bytewise, so one byte-slice `cmp` covers
+                    // every comparison operator.
+                    d[l] = cmp_holds(*op, a.lane(l).cmp(b.lane(l)));
+                }
+            }
+            s.b[*dst] = d;
+        }
+        HashS { sel, dst, a } => {
+            let mut d = std::mem::take(&mut s.i[*dst]);
+            ensure(&mut d, n);
+            {
+                let a = &s.s[*a];
+                if a.dict.is_empty() {
+                    for &l in &s.sels[*sel] {
+                        let l = l as usize;
+                        d[l] = hash_str_bytes(a.lane(l));
+                    }
+                } else {
+                    let per: Vec<i64> = (0..a.dict.len())
+                        .map(|c| hash_str_bytes(a.dict_entry(c)))
+                        .collect();
+                    for &l in &s.sels[*sel] {
+                        let l = l as usize;
+                        d[l] = per[a.codes[l] as usize];
+                    }
+                }
+            }
+            s.i[*dst] = d;
+        }
+        MergeS { dst, ts, t, es, e } => {
+            let mut d = std::mem::take(&mut s.s[*dst]);
+            d.clear();
+            d.starts.resize(n, 0);
+            d.lens.resize(n, 0);
+            let mut ok = true;
+            'merge: for (sid, src) in [(*ts, *t), (*es, *e)] {
+                let src = &s.s[src];
+                for &l in &s.sels[sid] {
+                    let l = l as usize;
+                    match d.push_bytes(src.lane(l)) {
+                        Some((start, len)) => {
+                            d.starts[l] = start;
+                            d.lens[l] = len;
+                        }
+                        None => {
+                            ok = false;
+                            break 'merge;
+                        }
+                    }
+                }
+            }
+            s.s[*dst] = d;
+            return ok;
+        }
+    }
+    true
+}
+
+/// [`VInstr::LoadS`] without dictionary encoding: every lane's bytes go
+/// into the arena back-to-back.
+fn load_str_plain(d: &mut StrCol, rows: &[Value], path: &[usize]) -> bool {
+    for row in rows {
+        match path_get(row, path) {
+            Some(Value::Str(st)) => match d.push_bytes(st.as_bytes()) {
+                Some((start, len)) => {
+                    d.starts.push(start);
+                    d.lens.push(len);
+                }
+                None => return false, // arena outgrew u32 offsets
+            },
+            _ => return false, // shape mismatch
+        }
+    }
+    true
+}
+
+/// [`VInstr::LoadS`] with dictionary encoding: each distinct string is
+/// stored once (first-appearance order); lanes carry codes plus ranges
+/// shared with their dictionary entry.
+fn load_str_dict(d: &mut StrCol, rows: &[Value], path: &[usize]) -> bool {
+    use std::hash::Hasher;
+    // hash → candidate codes; collisions compare bytes.
+    let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+    d.codes.reserve(rows.len());
+    for row in rows {
+        let st = match path_get(row, path) {
+            Some(Value::Str(st)) => st,
+            _ => return false,
+        };
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        hasher.write(st.as_bytes());
+        let cands = index.entry(hasher.finish()).or_default();
+        let code = match cands
+            .iter()
+            .copied()
+            .find(|&c| d.dict_entry(c as usize) == st.as_bytes())
+        {
+            Some(c) => c,
+            None => {
+                let (start, len) = match d.push_bytes(st.as_bytes()) {
+                    Some(r) => r,
+                    None => return false,
+                };
+                let c = d.dict.len() as u32;
+                d.dict.push((start, len));
+                cands.push(c);
+                c
+            }
+        };
+        let (start, len) = d.dict[code as usize];
+        d.codes.push(code);
+        d.starts.push(start);
+        d.lens.push(len);
     }
     true
 }
@@ -1889,13 +2340,20 @@ mod tests {
     fn non_specializable_programs_are_rejected() {
         let sample = Value::tuple(vec![Value::Int(0), Value::Int(0)]);
         let base = HashMap::new();
-        // String builtin.
+        // String builtin over a non-string slot: `as_str` errors per row.
         let s = compile_lambda(&Lambda::new(
             ["x"],
             ScalarExpr::call(BuiltinFn::StrLen, vec![x0()]),
         ));
         let sc = s.bind(&base);
         assert!(specialize(&[VecStageSpec::Map(&s, &sc)], &sample).is_none());
+        // Vector builtin.
+        let d = compile_lambda(&Lambda::new(
+            ["x"],
+            ScalarExpr::call(BuiltinFn::Dist, vec![x0(), x1()]),
+        ));
+        let dc = d.bind(&base);
+        assert!(specialize(&[VecStageSpec::Map(&d, &dc)], &sample).is_none());
         // Unbound capture.
         let u = compile_lambda(&Lambda::new(["x"], ScalarExpr::var("missing")));
         let uc = u.bind(&base);
@@ -1927,5 +2385,261 @@ mod tests {
             Value::tuple(vec![Value::Float(1.0), Value::Float(2.0)]),
         ];
         check_map(&lam, &rows);
+    }
+
+    // ------------------------------------------------------ string kernels
+
+    /// `(Int, Str, Str)` rows mixing short, empty, repeated, and multi-byte
+    /// UTF-8 strings.
+    fn str_rows() -> Vec<Value> {
+        let words = ["hello", "", "héllo wörld", "spam@x.test", "hell", "zz"];
+        (0..48i64)
+            .map(|i| {
+                Value::tuple(vec![
+                    Value::Int(i),
+                    Value::str(words[i as usize % words.len()]),
+                    Value::str(format!("w{}", i % 7)),
+                ])
+            })
+            .collect()
+    }
+
+    /// Like [`check_map`] but specializes from an explicit multi-row
+    /// sample (exercising the dictionary-encoding heuristic).
+    fn check_map_sampled(lam: &Lambda, samples: &[Value], rows: &[Value]) -> VectorPipeline {
+        let code = compile_lambda(lam);
+        let caps = code.bind(&HashMap::new());
+        let catalog = Catalog::new();
+        let vp = specialize_sampled(&[VecStageSpec::Map(&code, &caps)], samples)
+            .expect("expected specializable program");
+        let mut scratch = vp.new_scratch();
+        let mut counts = vec![0u64; 2];
+        let mut out = Vec::new();
+        assert!(vp.run_batch(rows, &mut scratch, &mut counts, &mut out));
+        let mut m = Machine::new();
+        for (row, got) in rows.iter().zip(&out) {
+            let want = code
+                .eval(std::slice::from_ref(row), &caps, &mut m, &catalog)
+                .expect("scalar tier errored where vector tier succeeded");
+            assert_eq!(&want, got, "row {row:?}");
+        }
+        vp
+    }
+
+    #[test]
+    fn string_kernels_match_scalar() {
+        // (str_len(x.1), str_contains(x.1, "ell"), hash_of(x.2),
+        //  x.1 == x.2, x.1 < x.2, x.1)
+        let lam = Lambda::new(
+            ["x"],
+            ScalarExpr::Tuple(vec![
+                ScalarExpr::call(BuiltinFn::StrLen, vec![x1()]),
+                ScalarExpr::call(
+                    BuiltinFn::StrContains,
+                    vec![x1(), ScalarExpr::lit(Value::str("ell"))],
+                ),
+                ScalarExpr::call(BuiltinFn::HashOf, vec![se_field(ScalarExpr::var("x"), 2)]),
+                se_bin(BinOp::Eq, x1(), se_field(ScalarExpr::var("x"), 2)),
+                se_bin(BinOp::Lt, x1(), se_field(ScalarExpr::var("x"), 2)),
+                x1(),
+            ]),
+        );
+        check_map(&lam, &str_rows());
+    }
+
+    #[test]
+    fn string_hash_kernel_matches_value_hash() {
+        for s in ["", "a", "hello", "héllo wörld", &"long".repeat(100)] {
+            assert_eq!(
+                hash_str_bytes(s.as_bytes()),
+                hash_value(&Value::str(s)),
+                "hash_str_bytes must replay Value::Str's Hash impl for {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_filter_narrows_selection_and_passes_rows_through() {
+        let lam = Lambda::new(
+            ["x"],
+            ScalarExpr::call(
+                BuiltinFn::StrContains,
+                vec![x1(), ScalarExpr::lit(Value::str("l"))],
+            ),
+        );
+        let code = compile_lambda(&lam);
+        let caps = code.bind(&HashMap::new());
+        let rows = str_rows();
+        let vp = specialize(&[VecStageSpec::Filter(&code, &caps)], &rows[0]).unwrap();
+        let mut scratch = vp.new_scratch();
+        let mut counts = vec![0u64; 2];
+        let mut out = Vec::new();
+        assert!(vp.run_batch(&rows, &mut scratch, &mut counts, &mut out));
+        let want: Vec<Value> = rows
+            .iter()
+            .filter(|r| match r {
+                Value::Tuple(fs) => matches!(&fs[1], Value::Str(s) if s.contains('l')),
+                _ => unreachable!(),
+            })
+            .cloned()
+            .collect();
+        assert_eq!(counts[0], rows.len() as u64);
+        assert_eq!(counts[1], want.len() as u64);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn if_over_strings_merges_branch_results() {
+        // if x.0 % 2 == 0 { x.1 } else { x.2 } — a string-typed If needs
+        // MergeS to stitch the two branch columns back together.
+        let lam = Lambda::new(
+            ["x"],
+            ScalarExpr::If(
+                Box::new(se_bin(
+                    BinOp::Eq,
+                    se_bin(BinOp::Mod, x0(), ScalarExpr::lit(Value::Int(2))),
+                    ScalarExpr::lit(Value::Int(0)),
+                )),
+                Box::new(x1()),
+                Box::new(se_field(ScalarExpr::var("x"), 2)),
+            ),
+        );
+        check_map(&lam, &str_rows());
+    }
+
+    #[test]
+    fn string_capture_is_splatted() {
+        let lam = Lambda::new(
+            ["x"],
+            ScalarExpr::call(BuiltinFn::StrContains, vec![x1(), ScalarExpr::var("pat")]),
+        );
+        let code = compile_lambda(&lam);
+        let mut base = HashMap::new();
+        base.insert("pat".to_string(), Value::str("héllo"));
+        let caps = code.bind(&base);
+        let rows = str_rows();
+        let vp = specialize(&[VecStageSpec::Map(&code, &caps)], &rows[0]).unwrap();
+        let mut scratch = vp.new_scratch();
+        let mut counts = vec![0u64; 2];
+        let mut out = Vec::new();
+        assert!(vp.run_batch(&rows, &mut scratch, &mut counts, &mut out));
+        for (row, got) in rows.iter().zip(&out) {
+            let want = match row {
+                Value::Tuple(fs) => matches!(&fs[1], Value::Str(s) if s.contains("héllo")),
+                _ => unreachable!(),
+            };
+            assert_eq!(got, &Value::Bool(want));
+        }
+    }
+
+    #[test]
+    fn dictionary_encoding_from_low_cardinality_sample() {
+        // x.2 cycles through 7 values over 48 rows: well under half
+        // distinct, so a 48-row sample dictionary-encodes the load.
+        let lam = Lambda::new(
+            ["x"],
+            ScalarExpr::Tuple(vec![
+                ScalarExpr::call(BuiltinFn::HashOf, vec![se_field(ScalarExpr::var("x"), 2)]),
+                ScalarExpr::call(
+                    BuiltinFn::StrContains,
+                    vec![
+                        se_field(ScalarExpr::var("x"), 2),
+                        ScalarExpr::lit(Value::str("3")),
+                    ],
+                ),
+            ]),
+        );
+        let rows = str_rows();
+        let vp = check_map_sampled(&lam, &rows, &rows);
+        assert!(
+            vp.instrs
+                .iter()
+                .any(|i| matches!(i, VInstr::LoadS { dict: true, .. })),
+            "low-cardinality sample must dictionary-encode the load"
+        );
+        // A single-row sample can never clear DICT_MIN_SAMPLE.
+        let vp1 = check_map_sampled(&lam, &rows[..1], &rows);
+        assert!(
+            vp1.instrs
+                .iter()
+                .all(|i| !matches!(i, VInstr::LoadS { dict: true, .. })),
+            "tiny samples must not trigger dictionary encoding"
+        );
+    }
+
+    #[test]
+    fn dictionary_with_one_distinct_value() {
+        let rows: Vec<Value> = (0..32i64)
+            .map(|i| Value::tuple(vec![Value::Int(i), Value::str("only"), Value::str("only")]))
+            .collect();
+        let lam = Lambda::new(
+            ["x"],
+            ScalarExpr::Tuple(vec![
+                ScalarExpr::call(BuiltinFn::HashOf, vec![x1()]),
+                ScalarExpr::call(
+                    BuiltinFn::StrContains,
+                    vec![x1(), ScalarExpr::lit(Value::str("nl"))],
+                ),
+                ScalarExpr::call(BuiltinFn::StrLen, vec![x1()]),
+            ]),
+        );
+        let vp = check_map_sampled(&lam, &rows, &rows);
+        assert!(vp
+            .instrs
+            .iter()
+            .any(|i| matches!(i, VInstr::LoadS { dict: true, .. })));
+    }
+
+    #[test]
+    fn empty_strings_and_empty_batches() {
+        // All-empty column: zero-length slices at every arena offset.
+        let rows: Vec<Value> = (0..16i64)
+            .map(|i| Value::tuple(vec![Value::Int(i), Value::str(""), Value::str("")]))
+            .collect();
+        let lam = Lambda::new(
+            ["x"],
+            ScalarExpr::Tuple(vec![
+                ScalarExpr::call(BuiltinFn::StrLen, vec![x1()]),
+                ScalarExpr::call(
+                    BuiltinFn::StrContains,
+                    vec![x1(), ScalarExpr::lit(Value::str(""))],
+                ),
+                se_bin(BinOp::Eq, x1(), se_field(ScalarExpr::var("x"), 2)),
+                ScalarExpr::call(BuiltinFn::HashOf, vec![x1()]),
+            ]),
+        );
+        check_map(&lam, &rows);
+        // Empty batch: no lanes, no output, counts all zero.
+        let code = compile_lambda(&lam);
+        let caps = code.bind(&HashMap::new());
+        let vp = specialize(&[VecStageSpec::Map(&code, &caps)], &rows[0]).unwrap();
+        let mut scratch = vp.new_scratch();
+        let mut counts = vec![0u64; 2];
+        let mut out = Vec::new();
+        assert!(vp.run_batch(&[], &mut scratch, &mut counts, &mut out));
+        assert_eq!(counts, vec![0, 0]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn string_shape_mismatch_aborts_batch() {
+        let lam = Lambda::new(["x"], ScalarExpr::call(BuiltinFn::StrLen, vec![x1()]));
+        let rows = str_rows();
+        let code = compile_lambda(&lam);
+        let caps = code.bind(&HashMap::new());
+        let vp = specialize(&[VecStageSpec::Map(&code, &caps)], &rows[0]).unwrap();
+        let bad = vec![
+            rows[0].clone(),
+            Value::tuple(vec![Value::Int(1), Value::Int(2), Value::str("x")]),
+        ];
+        let mut scratch = vp.new_scratch();
+        let mut counts = vec![0u64; 2];
+        let mut out = Vec::new();
+        assert!(!vp.run_batch(&bad, &mut scratch, &mut counts, &mut out));
+        assert_eq!(counts, vec![0, 0]);
+        assert!(out.is_empty());
+        // The same scratch still works on a conforming batch afterwards.
+        assert!(vp.run_batch(&rows, &mut scratch, &mut counts, &mut out));
+        assert_eq!(out.len(), rows.len());
     }
 }

@@ -21,8 +21,11 @@ use emma_compiler::compiled::{compile_bag_body, compile_lambda, Machine};
 use emma_compiler::expr::{BuiltinFn, FoldOp, Lambda, ScalarExpr};
 use emma_compiler::interp::{self, Catalog, Env};
 use emma_compiler::value::{Value, ValueError};
-use emma_compiler::vectorized::{specialize, VecStageSpec};
+use emma_compiler::vectorized::{specialize, specialize_sampled, VecStageSpec};
 use proptest::prelude::*;
+
+#[path = "../../../tests/common/string_exprs.rs"]
+mod string_exprs;
 
 /// Variable pool the generator draws from. `x`/`y` are lambda parameters,
 /// `b0`/`b1` come from the broadcast base scope, `e` is only ever bound by a
@@ -167,6 +170,7 @@ fn assert_vectorized_sound(
     lam: &Lambda,
     rows: &[Value],
     filter: bool,
+    sample_all: bool,
 ) -> Result<(), TestCaseError> {
     let base = base_scope();
     let catalog = Catalog::new().with("xs", (0..6).map(Value::Int).collect::<Vec<_>>());
@@ -178,9 +182,13 @@ fn assert_vectorized_sound(
     } else {
         VecStageSpec::Map(&compiled, &caps)
     };
+    // `sample_all` feeds the whole batch to the driver-side sample, which is
+    // what turns the string dictionary heuristic on; the single-row sample
+    // mirrors the engine's minimum. Shape always comes from the first row.
+    let sample = if sample_all { rows } else { &rows[..1] };
     // Most generated programs are not specializable; that is the scalar
     // tier's job and is not a soundness question.
-    let Some(vp) = specialize(&[stage], &rows[0]) else {
+    let Some(vp) = specialize_sampled(&[stage], sample) else {
         return Ok(());
     };
 
@@ -311,7 +319,7 @@ proptest! {
         rows in prop::collection::vec(value_strategy(), 1..12),
     ) {
         let lam = Lambda::new(["x"], body);
-        assert_vectorized_sound(&lam, &rows, false)?;
+        assert_vectorized_sound(&lam, &rows, false, false)?;
     }
 
     #[test]
@@ -320,7 +328,7 @@ proptest! {
         rows in prop::collection::vec(value_strategy(), 1..12),
     ) {
         let lam = Lambda::new(["x"], body);
-        assert_vectorized_sound(&lam, &rows, true)?;
+        assert_vectorized_sound(&lam, &rows, true, false)?;
     }
 
     // Same-shaped numeric tuples specialize far more often than fully
@@ -338,7 +346,46 @@ proptest! {
         ),
     ) {
         let lam = Lambda::new(["x"], body);
-        assert_vectorized_sound(&lam, &rows, false)?;
+        assert_vectorized_sound(&lam, &rows, false, false)?;
+    }
+
+    // String-bearing bodies from the shared typed generator: mostly
+    // specializable, so the string kernels (not just the refusal path) run
+    // against the scalar tiers. Conforming rows drive the kernels and the
+    // dictionary encoding; chaotic rows drive shape aborts and replays.
+    #[test]
+    fn vectorized_string_map_matches_scalar_tiers(
+        body in string_exprs::map_body(),
+        rows in prop::collection::vec(string_exprs::string_row(), 1..24),
+        sample_all in any::<bool>(),
+    ) {
+        let lam = Lambda::new(["x"], body);
+        assert_vectorized_sound(&lam, &rows, false, sample_all)?;
+        // The same body must also agree scalar-vs-interpreter on each row.
+        for row in rows.iter().take(4) {
+            assert_tiers_agree(&lam, std::slice::from_ref(row))?;
+        }
+    }
+
+    #[test]
+    fn vectorized_string_filter_matches_scalar_tiers(
+        body in string_exprs::bool_expr(2),
+        rows in prop::collection::vec(string_exprs::chaotic_row(), 1..24),
+        sample_all in any::<bool>(),
+    ) {
+        let lam = Lambda::new(["x"], body);
+        assert_vectorized_sound(&lam, &rows, true, sample_all)?;
+    }
+
+    #[test]
+    fn vectorized_string_keys_match_scalar_tiers(
+        body in string_exprs::key_body(),
+        rows in prop::collection::vec(string_exprs::chaotic_row(), 1..24),
+    ) {
+        // Key extraction lowers as a single Map stage; its soundness
+        // contract is the same as any map's.
+        let lam = Lambda::new(["x"], body);
+        assert_vectorized_sound(&lam, &rows, false, true)?;
     }
 }
 

@@ -285,20 +285,25 @@ impl Engine {
 
     /// Enables the vectorized batch-evaluation tier: fully
     /// type-specializable Map/Filter/Fold-element bodies (and fused
-    /// Map/Filter pipelines) are lowered to typed `i64`/`f64`/`bool` column
-    /// kernels and evaluated over reusable scratch buffers in batches of
-    /// `cfg.batch_rows` rows; every operator whose program resists static
+    /// Map/Filter pipelines) are lowered to typed `i64`/`f64`/`bool`/string
+    /// column kernels and evaluated over reusable scratch buffers in batches
+    /// of `cfg.batch_rows` rows; every operator whose program resists static
     /// typing falls back to the scalar compiled tier and is counted in
-    /// [`ExecStats::vector_fallbacks`] — no silent slow paths. Rows, errors,
-    /// and error order are preserved exactly: a batch that produces any
-    /// error (or does not conform to the specialized input shape) is re-run
-    /// row-at-a-time through the scalar tier, so the first error in
-    /// evaluation order reproduces bit-identically. Specialization is
-    /// decided on the driver from the first row of the first non-empty input
-    /// partition, so fallback counts replay bit-identically across thread
-    /// counts and dispatch modes. Off by default — without a config the
-    /// batch tier is never consulted and every counter stays bit-identical
-    /// to an engine without the feature.
+    /// [`ExecStats::vector_fallbacks`] — no silent slow paths. Wide-operator
+    /// key extraction (`groupBy`/`aggBy`/`distinct` routing, join build and
+    /// residual-free probe sides) batches the same way, with refusals and
+    /// scalar-by-design sites counted in
+    /// [`ExecStats::key_path_fallbacks`]. Rows, errors, and error order are
+    /// preserved exactly: a batch that produces any error (or does not
+    /// conform to the specialized input shape) is re-run row-at-a-time
+    /// through the scalar tier, so the first error in evaluation order
+    /// reproduces bit-identically. Specialization is decided on the driver
+    /// from a prefix of the first non-empty input partition (shape from the
+    /// first row; the extra rows only inform string dictionary encoding), so
+    /// fallback counts replay bit-identically across thread counts and
+    /// dispatch modes. Off by default — without a config the batch tier is
+    /// never consulted and every counter stays bit-identical to an engine
+    /// without the feature.
     pub fn with_vectorized_eval(mut self, cfg: BatchConfig) -> Self {
         self.vectorized = Some(cfg);
         self
@@ -982,21 +987,46 @@ impl<'a> Session<'a> {
     /// empty input (no sample row to type against, nothing to evaluate
     /// either way) return `None` without counting.
     ///
-    /// Specialization runs on the driver against the first row of the first
-    /// non-empty partition — a deterministic choice, so the decision (and
-    /// `vector_fallbacks`) replays bit-identically across thread counts and
-    /// dispatch modes.
+    /// Specialization runs on the driver against a prefix of the first
+    /// non-empty partition (up to [`SPECIALIZE_SAMPLE_ROWS`] rows): the first
+    /// row defines the column shapes, the rest inform the string-column
+    /// dictionary-encoding decision. The partition layout is a pure function
+    /// of the simulated cluster, so the decision (and `vector_fallbacks`)
+    /// replays bit-identically across thread counts and dispatch modes.
     fn try_vectorize(
         &mut self,
         specs: &[VecStageSpec<'_>],
         parts: &[Arc<Vec<Value>>],
     ) -> Option<(VectorPipeline, usize)> {
         let cfg = self.vectorized?;
-        let sample = parts.iter().find(|p| !p.is_empty()).map(|p| &p[0])?;
-        match vectorized::specialize(specs, sample) {
+        let samples = sample_rows(parts)?;
+        match vectorized::specialize_sampled(specs, samples) {
             Some(vp) => Some((vp, cfg.batch_rows)),
             None => {
                 self.stats.vector_fallbacks += 1;
+                None
+            }
+        }
+    }
+
+    /// [`try_vectorize`](Self::try_vectorize) for a wide operator's key UDF:
+    /// a refused key body is counted in the key-path analogue,
+    /// [`ExecStats::key_path_fallbacks`], instead of `vector_fallbacks`.
+    /// `samples` is a driver-chosen row prefix of the operator's input (see
+    /// [`sample_rows`]); an empty input returns `None` without counting —
+    /// no rows means no slow path ran.
+    fn try_vectorize_key(
+        &mut self,
+        prep: &PreparedScalar<'_>,
+        samples: Option<&[Value]>,
+    ) -> Option<(VectorPipeline, usize)> {
+        let cfg = self.vectorized?;
+        let samples = samples?;
+        let spec = vec_spec(prep, false)?;
+        match vectorized::specialize_sampled(&[spec], samples) {
+            Some(vp) => Some((vp, cfg.batch_rows)),
+            None => {
+                self.stats.key_path_fallbacks += 1;
                 None
             }
         }
@@ -1106,6 +1136,13 @@ impl<'a> Session<'a> {
                     .is_some()
                     .then_some(SplitKind::KeyPreserving);
                 let (shuffled, carried, split) = self.shuffle_keyed_split(d, key, &env, kind)?;
+                // When the shuffle was elided (layout already satisfied) the
+                // create loop below re-derives keys serially while building
+                // the driver-resident state maps — scalar by design, counted
+                // so the refusal is visible in telemetry.
+                if carried.is_none() && self.vectorized.is_some() && shuffled.total_rows() > 0 {
+                    self.stats.key_path_fallbacks += 1;
+                }
                 let base = self.eval_base_for_lambdas(&[key], &env)?;
                 let key_prep = self.prepare_lambda(key, &base);
                 let mut cx = key_prep.ctx(&base);
@@ -1149,6 +1186,13 @@ impl<'a> Session<'a> {
                 // Route messages to their state elements: a shuffle on the
                 // message key, colocated with the state partitioning.
                 let (routed, carried) = self.shuffle_keyed(msgs, message_key, &env)?;
+                // Without carried keys the update loop interleaves key
+                // evaluation with in-place state lookups and the update UDF —
+                // a key batch would surface a later row's key error before an
+                // earlier row's update error. Scalar by design, counted.
+                if carried.is_none() && self.vectorized.is_some() && routed.total_rows() > 0 {
+                    self.stats.key_path_fallbacks += 1;
+                }
                 let state_binding =
                     self.env.get(state).cloned().ok_or_else(|| {
                         ExecError::Eval(ValueError::UnboundVariable(state.clone()))
@@ -1413,6 +1457,7 @@ impl<'a> Session<'a> {
                     })?
                 };
                 self.charge_cpu_weighted(d.total_rows(), d.max_part_rows(), f.static_cost());
+                self.charge_cpu_bytes(d.max_part_bytes(), f.static_byte_cost());
                 // Folds over *materialized group values* re-scan their data;
                 // folds over small per-record bags (e.g. a vertex's neighbor
                 // list carried through a join) do not — the charge applies
@@ -1474,6 +1519,7 @@ impl<'a> Session<'a> {
                     })?
                 };
                 self.charge_cpu_weighted(d.total_rows(), d.max_part_rows(), p.static_cost());
+                self.charge_cpu_bytes(d.max_part_bytes(), p.static_byte_cost());
                 // Filters preserve the physical layout.
                 Ok(PlanResult::Bag(Partitioned {
                     parts,
@@ -1514,6 +1560,7 @@ impl<'a> Session<'a> {
                     d.max_part_rows() + produced / self.dop().max(1) as u64,
                     weight,
                 );
+                self.charge_cpu_bytes(d.max_part_bytes(), body.static_byte_cost());
                 Ok(PlanResult::Bag(Partitioned {
                     parts,
                     partitioning: None,
@@ -1585,6 +1632,10 @@ impl<'a> Session<'a> {
                     d.max_part_rows(),
                     fold.sng.static_cost() + fold.uni.static_cost(),
                 );
+                self.charge_cpu_bytes(
+                    d.max_part_bytes(),
+                    fold.sng.static_byte_cost() + fold.uni.static_byte_cost(),
+                );
                 Ok(PlanResult::Scalar(acc))
             }
             Plan::Join {
@@ -1646,19 +1697,37 @@ impl<'a> Session<'a> {
                 // Materialize groups per partition; charge memory pressure.
                 let base = self.eval_base_for_lambdas(&[key], env)?;
                 let key_prep = self.prepare_lambda(key, &base);
+                // When the input layout already satisfied the partitioning
+                // the shuffle early-returned without evaluating keys — so
+                // extract them here, batch-at-a-time when the key body
+                // specializes, scalar otherwise. Keys are evaluated in
+                // partition-then-row order either way, and grouping itself
+                // never errors, so the first error is unchanged.
+                let keyed: Vec<Vec<(u64, Value)>> = match carried {
+                    Some(keys) => keys,
+                    None => {
+                        let key_vec =
+                            self.try_vectorize_key(&key_prep, sample_rows(&shuffled.parts));
+                        let mut all = Vec::with_capacity(shuffled.parts.len());
+                        for part in &shuffled.parts {
+                            let (hks, nvec, nbatches) =
+                                batch_keys(part, key_vec.as_ref(), &key_prep, &base, self.catalog)
+                                    .map_err(ExecError::Eval)?;
+                            self.stats.rows_vectorized += nvec;
+                            self.stats.batches_executed += nbatches;
+                            all.push(hks);
+                        }
+                        all
+                    }
+                };
                 let mut parts = Vec::with_capacity(shuffled.parts.len());
                 for (pi, part) in shuffled.parts.iter().enumerate() {
-                    let mut cx = key_prep.ctx(&base);
                     let mut order: Vec<Value> = Vec::new();
                     let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
                     for (ri, row) in part.iter().enumerate() {
-                        // The shuffle already evaluated the key for this row.
-                        let k = match &carried {
-                            Some(keys) => keys[pi][ri].1.clone(),
-                            None => key_prep
-                                .call(std::slice::from_ref(row), &mut cx, self.catalog)
-                                .map_err(ExecError::Eval)?,
-                        };
+                        // The shuffle (or the pre-pass above) already
+                        // evaluated the key for this row.
+                        let k = keyed[pi][ri].1.clone();
                         let e = groups.entry(k.clone()).or_default();
                         if e.is_empty() {
                             order.push(k);
@@ -1835,11 +1904,26 @@ impl<'a> Session<'a> {
                         _ => 0,
                     })
                     .collect();
+                // Per-stage byte weights: stages whose UDFs contain
+                // length-scaling builtins (`StrContains`) charge a byte term
+                // against their entry bytes, exactly as the unfused operator
+                // charges its materialized input.
+                let byte_costs: Vec<f64> = stages
+                    .iter()
+                    .map(|s| match s {
+                        PipelineStage::Map { f } | PipelineStage::Filter { p: f } => {
+                            f.static_byte_cost()
+                        }
+                        PipelineStage::FlatMap { body, .. } => body.static_byte_cost(),
+                    })
+                    .collect();
                 // Byte totals of an intermediate are only needed where a Map
-                // stage charges nested-bag-fold re-scans over grouped input.
+                // stage charges nested-bag-fold re-scans over grouped input,
+                // or where a later stage carries a byte-weighted builtin
+                // (stage 0 charges from the materialized input directly).
                 let mut need_bytes = vec![false; nstages + 1];
                 for i in 1..nstages {
-                    need_bytes[i] = nested[i] > 0 && grouped[i];
+                    need_bytes[i] = (nested[i] > 0 && grouped[i]) || byte_costs[i] > 0.0;
                 }
                 let catalog = self.catalog;
                 let vec_run = if self.vectorized.is_none() {
@@ -1850,8 +1934,11 @@ impl<'a> Session<'a> {
                     || need_bytes.iter().any(|b| *b)
                 {
                     // FlatMap stages (bag-producing) and byte-sampled
-                    // intermediates (nested-bag-fold charges need per-row
-                    // sizes) have no columnar form — a visible fallback.
+                    // intermediates (nested-bag-fold re-scans and
+                    // byte-weighted builtins past the head stage charge from
+                    // per-row sizes) have no columnar form — a visible
+                    // fallback. A byte-weighted *head* stage charges from the
+                    // materialized input and vectorizes fine.
                     self.stats.vector_fallbacks += 1;
                     None
                 } else {
@@ -1955,6 +2042,18 @@ impl<'a> Session<'a> {
                                 body.static_cost(),
                             );
                         }
+                    }
+                    // The byte term charges stage entry bytes: the head stage
+                    // sees the materialized input; later stages tracked their
+                    // entry bytes via `need_bytes` — identical to what the
+                    // unfused operator's materialized input would weigh.
+                    if byte_costs[i] > 0.0 {
+                        let mpb = if i == 0 {
+                            d.max_part_bytes()
+                        } else {
+                            bytes_max[i]
+                        };
+                        self.charge_cpu_bytes(mpb, byte_costs[i]);
                     }
                 }
                 self.check_budget()?;
@@ -2066,6 +2165,30 @@ impl<'a> Session<'a> {
         let rk_prep = self.prepare_lambda(rkey, &base);
         let res_prep = residual.map(|res| self.prepare_lambda(res, &base));
 
+        // Key-path batch decisions, made on the driver before the probe
+        // tasks fan out so the specialize-or-refuse outcome replays
+        // bit-identically. Carried keys (repartition) skip key evaluation
+        // entirely — nothing to vectorize, nothing to count. A residual
+        // predicate interleaves its own errors with the probe key's in row
+        // order, so the probe loop stays scalar by design there — counted.
+        let rk_vec = match &rkeys {
+            None => self.try_vectorize_key(
+                &rk_prep,
+                sample_rows_of(rrows_by_part.iter().map(|p| p.as_slice())),
+            ),
+            Some(_) => None,
+        };
+        let lk_vec = match (&lkeys, residual) {
+            (None, None) => self.try_vectorize_key(&lk_prep, sample_rows(&lwork.parts)),
+            (None, Some(_)) => {
+                if self.vectorized.is_some() && lwork.total_rows() > 0 {
+                    self.stats.key_path_fallbacks += 1;
+                }
+                None
+            }
+            (Some(_), _) => None,
+        };
+
         // Build hash tables on the right, probe with the left — one
         // build+probe task per left partition, fanned out on the pool.
         // After a repartition the key hashes rode along from the shuffle, so
@@ -2077,9 +2200,9 @@ impl<'a> Session<'a> {
         let probe_rows: u64 =
             lwork.total_rows() + rrows_by_part.iter().map(|p| p.len() as u64).sum::<u64>();
         let outs = self.run_tasks(true, lwork.parts.len(), probe_rows, |pi| {
-            let mut rcx = rk_prep.ctx(&base);
             let mut lcx = lk_prep.ctx(&base);
             let mut rescx = res_prep.as_ref().map(|p| p.ctx(&base));
+            let (mut nvec, mut nbatches) = (0u64, 0u64);
             let lpart = &lwork.parts[pi];
             // Under a probe split, every sub-partition of a hot bucket reads
             // that bucket's (replicated) build partition.
@@ -2092,13 +2215,13 @@ impl<'a> Session<'a> {
             let rkv: &[(u64, Value)] = match &rkeys {
                 Some(keys) => &keys[ri],
                 None => {
-                    computed = rrows
-                        .iter()
-                        .map(|rrow| {
-                            let k = rk_prep.call(std::slice::from_ref(rrow), &mut rcx, catalog)?;
-                            Ok((value_hash(&k), k))
-                        })
-                        .collect::<Result<_, ValueError>>()?;
+                    // The build completes before any probe, so batching the
+                    // build keys cannot reorder errors across the phases.
+                    let (hks, nv, nb) =
+                        batch_keys(rrows, rk_vec.as_ref(), &rk_prep, &base, catalog)?;
+                    nvec += nv;
+                    nbatches += nb;
+                    computed = hks;
                     &computed
                 }
             };
@@ -2108,12 +2231,26 @@ impl<'a> Session<'a> {
             }
             let lkeys_part: Option<&[(u64, Value)]> =
                 lkeys.as_ref().map(|keys| keys[pi].as_slice());
+            // Residual-free probes may batch the probe keys up front: the
+            // probe key UDF is then the loop's only error source, so the
+            // first error in row order is preserved.
+            let lhks: Option<Vec<(u64, Value)>> = match &lk_vec {
+                Some(_) => {
+                    let (hks, nv, nb) =
+                        batch_keys(lpart.as_slice(), lk_vec.as_ref(), &lk_prep, &base, catalog)?;
+                    nvec += nv;
+                    nbatches += nb;
+                    Some(hks)
+                }
+                None => None,
+            };
             let mut out = Vec::new();
             for (li, lrow) in lpart.iter().enumerate() {
                 let lk_owned: Value;
-                let (h, k): (u64, &Value) = match lkeys_part {
-                    Some(keys) => (keys[li].0, &keys[li].1),
-                    None => {
+                let (h, k): (u64, &Value) = match (lkeys_part, &lhks) {
+                    (Some(keys), _) => (keys[li].0, &keys[li].1),
+                    (None, Some(keys)) => (keys[li].0, &keys[li].1),
+                    (None, None) => {
                         lk_owned = lk_prep.call(std::slice::from_ref(lrow), &mut lcx, catalog)?;
                         (value_hash(&lk_owned), &lk_owned)
                     }
@@ -2154,11 +2291,13 @@ impl<'a> Session<'a> {
                     }
                 }
             }
-            Ok(out)
+            Ok((out, nvec, nbatches))
         })?;
         let mut parts = Vec::with_capacity(outs.len());
         let mut produced = 0u64;
-        for out in outs {
+        for (out, nvec, nbatches) in outs {
+            self.stats.rows_vectorized += nvec;
+            self.stats.batches_executed += nbatches;
             produced += out.len() as u64;
             parts.push(Arc::new(out));
         }
@@ -2321,44 +2460,87 @@ impl<'a> Session<'a> {
         let sng_prep = self.prepare_lambda(&fold.sng, &base);
         let uni_prep = self.prepare_lambda(&fold.uni, &base);
 
+        // Key-path batch decision, made once on the driver (see
+        // [`Self::try_vectorize_key`]) so every combiner task agrees.
+        let key_vec = self.try_vectorize_key(&key_prep, sample_rows(&d.parts));
+
         // Combiner phase: per-partition partial aggregation, one
         // insertion-ordered map per partition, fanned out on the pool. The
         // key hash is computed once per row and carried with each partial so
-        // neither the partial shuffle nor the merge phase re-hashes.
+        // neither the partial shuffle nor the merge phase re-hashes. When
+        // the key body specialized, each chunk's keys come from one batch
+        // kernel run and the `sng`/`uni` folds consume them row by row; an
+        // aborted chunk replays interleaved (key, sng, uni per row), so a
+        // key error reproduces in its exact interleaving position.
         let catalog = self.catalog;
         let partial_lists = self.run_tasks(true, d.parts.len(), d.total_rows(), |pi| {
             let mut cx = sng_prep.ctx(&base);
             let mut ucx = uni_prep.ctx(&base);
-            let mut kcx = key_prep.ctx(&base2);
             let mut accs: InsertionMap<Value, (u64, Value)> = InsertionMap::new();
-            for row in d.parts[pi].iter() {
-                let k = key_prep.call(std::slice::from_ref(row), &mut kcx, catalog)?;
-                let h = value_hash(&k);
-                let s = sng_prep.call(std::slice::from_ref(row), &mut cx, catalog)?;
-                match accs.get_mut_hashed(h, &k) {
-                    Some((_, acc)) => {
-                        let merged = uni_prep.call(&[acc.clone(), s], &mut ucx, catalog)?;
-                        *acc = merged;
+            let (mut nvec, mut nbatches) = (0u64, 0u64);
+            let part = &d.parts[pi];
+            match &key_vec {
+                Some((vp, batch_rows)) => {
+                    let mut scratch = vp.new_scratch();
+                    let mut counts = [0u64; 2];
+                    let mut keys_out: Vec<Value> = Vec::new();
+                    let mut kcx: Option<EvCtx> = None;
+                    for chunk in part.chunks((*batch_rows).max(1)) {
+                        keys_out.clear();
+                        if vp.run_batch(chunk, &mut scratch, &mut counts, &mut keys_out) {
+                            nvec += chunk.len() as u64;
+                            nbatches += 1;
+                            for (row, k) in chunk.iter().zip(keys_out.drain(..)) {
+                                agg_absorb(
+                                    k, row, &sng_prep, &uni_prep, &mut cx, &mut ucx, &zero,
+                                    &mut accs, catalog,
+                                )?;
+                            }
+                        } else {
+                            let kcx = kcx.get_or_insert_with(|| key_prep.ctx(&base2));
+                            for row in chunk {
+                                let k = key_prep.call(std::slice::from_ref(row), kcx, catalog)?;
+                                agg_absorb(
+                                    k, row, &sng_prep, &uni_prep, &mut cx, &mut ucx, &zero,
+                                    &mut accs, catalog,
+                                )?;
+                            }
+                        }
                     }
-                    None => {
-                        let first = uni_prep.call(&[zero.clone(), s], &mut ucx, catalog)?;
-                        accs.insert_hashed(h, &k, || (h, first));
+                }
+                None => {
+                    let mut kcx = key_prep.ctx(&base2);
+                    for row in part.iter() {
+                        let k = key_prep.call(std::slice::from_ref(row), &mut kcx, catalog)?;
+                        agg_absorb(
+                            k, row, &sng_prep, &uni_prep, &mut cx, &mut ucx, &zero, &mut accs,
+                            catalog,
+                        )?;
                     }
                 }
             }
-            Ok(accs
-                .into_iter()
-                .map(|(k, (h, acc))| (h, Value::tuple(vec![k, acc])))
-                .collect::<Vec<_>>())
+            Ok((
+                accs.into_iter()
+                    .map(|(k, (h, acc))| (h, Value::tuple(vec![k, acc])))
+                    .collect::<Vec<_>>(),
+                nvec,
+                nbatches,
+            ))
         })?;
         let mut partials: Vec<(u64, Value)> = Vec::new();
-        for list in partial_lists {
+        for (list, nvec, nbatches) in partial_lists {
+            self.stats.rows_vectorized += nvec;
+            self.stats.batches_executed += nbatches;
             partials.extend(list);
         }
         self.charge_cpu_weighted(
             d.total_rows(),
             d.max_part_rows(),
             key.static_cost() + fold.sng.static_cost() + fold.uni.static_cost(),
+        );
+        self.charge_cpu_bytes(
+            d.max_part_bytes(),
+            key.static_byte_cost() + fold.sng.static_byte_cost() + fold.uni.static_byte_cost(),
         );
 
         // Shuffle only the partial aggregates (one per key per partition),
@@ -2481,6 +2663,24 @@ impl<'a> Session<'a> {
 
     fn charge_cpu(&mut self, total_records: u64, max_part_records: u64) {
         self.charge_cpu_weighted(total_records, max_part_records, 8.0);
+    }
+
+    /// The length-proportional companion of
+    /// [`charge_cpu_weighted`](Self::charge_cpu_weighted): charges the bytes
+    /// a UDF's length-scaling builtins scan (`BuiltinFn::byte_weight`,
+    /// today `StrContains`), against the operator's largest input partition.
+    /// Like every CPU charge this is issued on the driver from materialized
+    /// sizes and static weights — never from inside a task — so the charge
+    /// is identical whichever evaluation tier ran the rows: vectorizing a
+    /// string body cannot shift the simulated clock. No floor and no
+    /// `records_processed` contribution (the per-call overhead is already in
+    /// the record-weighted charge); byte-free bodies charge nothing.
+    fn charge_cpu_bytes(&mut self, max_part_bytes: u64, byte_weight: f64) {
+        if byte_weight > 0.0 {
+            self.stats.charge_secs(
+                max_part_bytes as f64 * self.spec().cpu_per_record * byte_weight / 8.0,
+            );
+        }
     }
 
     fn charge_broadcast(&mut self, bytes: u64) {
@@ -2642,6 +2842,12 @@ impl<'a> Session<'a> {
         let base = self.eval_base_for_lambdas(&[key], env)?;
         let total_rows = d.total_rows();
         let nsrc = d.parts.len();
+        let key_prep = self.prepare_lambda(key, &base);
+        // Key-path batch decision, on the driver before the partitions are
+        // consumed into sources — pure in the simulated layout, so the
+        // specialize-or-refuse outcome (and the `key_path_fallbacks` bump)
+        // replays bit-identically across schedules.
+        let key_vec = self.try_vectorize_key(&key_prep, sample_rows(&d.parts));
         enum Source {
             Owned(Mutex<Option<Vec<Value>>>),
             Shared(Arc<Vec<Value>>),
@@ -2654,45 +2860,38 @@ impl<'a> Session<'a> {
                 Err(shared) => Source::Shared(shared),
             })
             .collect();
-        let key_prep = self.prepare_lambda(key, &base);
         // Bucket each source partition on the pool, then splice the
         // per-partition buckets together in partition order — the same row
-        // order the serial loop produced.
+        // order the serial loop produced. Keys come from `batch_keys`
+        // (vectorized when the key body specialized, scalar otherwise),
+        // then rows zip with their aligned `(hash, key)` side-array to
+        // route into buckets.
         // A retried bucketing task never double-drains an owned source:
         // an injected failure skips the task body entirely (the attempt's
         // work is "lost"), so the drain happens exactly once — on the first
         // attempt that actually executes.
         let catalog = self.catalog;
         let bucket_lists = self.run_tasks(true, nsrc, total_rows, |pi| {
-            let mut cx = key_prep.ctx(&base);
             let mut rows_b: Vec<Vec<Value>> = (0..parts_n).map(|_| Vec::new()).collect();
             let mut keys_b: Vec<Vec<(u64, Value)>> = (0..parts_n).map(|_| Vec::new()).collect();
-            let mut route = |row: Value| -> Result<(), ValueError> {
-                let k = key_prep.call(std::slice::from_ref(&row), &mut cx, catalog)?;
-                let h = value_hash(&k);
+            let rows: Vec<Value> = match &sources[pi] {
+                Source::Owned(cell) => cell.lock().unwrap().take().expect("partition drained once"),
+                Source::Shared(part) => part.to_vec(),
+            };
+            let (hks, nvec, nbatches) =
+                batch_keys(&rows, key_vec.as_ref(), &key_prep, &base, catalog)?;
+            for (row, (h, k)) in rows.into_iter().zip(hks) {
                 let b = (h % parts_n as u64) as usize;
                 rows_b[b].push(row);
                 keys_b[b].push((h, k));
-                Ok(())
-            };
-            match &sources[pi] {
-                Source::Owned(cell) => {
-                    let rows = cell.lock().unwrap().take().expect("partition drained once");
-                    for row in rows {
-                        route(row)?;
-                    }
-                }
-                Source::Shared(part) => {
-                    for row in part.iter() {
-                        route(row.clone())?;
-                    }
-                }
             }
-            Ok((rows_b, keys_b))
+            Ok((rows_b, keys_b, nvec, nbatches))
         })?;
         let mut buckets: Vec<Vec<Value>> = (0..parts_n).map(|_| Vec::new()).collect();
         let mut keys: Vec<Vec<(u64, Value)>> = (0..parts_n).map(|_| Vec::new()).collect();
-        for (local_rows, local_keys) in bucket_lists {
+        for (local_rows, local_keys, nvec, nbatches) in bucket_lists {
+            self.stats.rows_vectorized += nvec;
+            self.stats.batches_executed += nbatches;
             for (b, mut rows) in local_rows.into_iter().enumerate() {
                 buckets[b].append(&mut rows);
             }
@@ -3129,6 +3328,116 @@ fn consumes_grouped_rows(plan: &Plan) -> bool {
         }
         _ => false,
     }
+}
+
+/// How many rows of the first non-empty partition the driver samples when
+/// specializing a vectorized program. One row fixes the column shapes; the
+/// rest let the string-column dictionary heuristic
+/// ([`vectorized::DICT_MIN_SAMPLE`]) observe cardinality.
+const SPECIALIZE_SAMPLE_ROWS: usize = 64;
+
+/// The driver-side specialization sample: a prefix (up to
+/// [`SPECIALIZE_SAMPLE_ROWS`] rows) of the first non-empty partition.
+/// Deterministic in the simulated partition layout — thread count and
+/// dispatch mode never enter. `None` when every partition is empty.
+fn sample_rows(parts: &[Arc<Vec<Value>>]) -> Option<&[Value]> {
+    sample_rows_of(parts.iter().map(|p| p.as_slice()))
+}
+
+/// [`sample_rows`] over any partition representation.
+fn sample_rows_of<'a, I: IntoIterator<Item = &'a [Value]>>(parts: I) -> Option<&'a [Value]> {
+    parts
+        .into_iter()
+        .find(|p| !p.is_empty())
+        .map(|p| &p[..p.len().min(SPECIALIZE_SAMPLE_ROWS)])
+}
+
+/// Row-aligned `(hash, key)` pairs plus the rows/batches that ran
+/// vectorized, as produced by [`batch_keys`].
+type BatchedKeys = (Vec<(u64, Value)>, u64, u64);
+
+/// Evaluates a key UDF over `rows` — batch-at-a-time through the vectorized
+/// tier when `key_vec` carries a specialized key program, row-at-a-time
+/// otherwise — returning the row-aligned `(hash, key)` side-array plus the
+/// rows/batches that actually ran vectorized. An aborted batch (shape
+/// mismatch or an erroring lane) replays row-at-a-time through the scalar
+/// tier, so key values and the first error in row order reproduce
+/// bit-identically; since a key-extraction loop's only error source is the
+/// key UDF itself, batching cannot reorder errors. Shared by the shuffle
+/// router, the join build/probe sides, and `groupBy` grouping.
+fn batch_keys(
+    rows: &[Value],
+    key_vec: Option<&(VectorPipeline, usize)>,
+    key_prep: &PreparedScalar<'_>,
+    base: &HashMap<String, Value>,
+    catalog: &Catalog,
+) -> Result<BatchedKeys, ValueError> {
+    let mut hks: Vec<(u64, Value)> = Vec::with_capacity(rows.len());
+    let (mut nvec, mut nbatches) = (0u64, 0u64);
+    match key_vec {
+        Some((vp, batch_rows)) => {
+            let mut scratch = vp.new_scratch();
+            let mut counts = [0u64; 2];
+            let mut keys_out: Vec<Value> = Vec::new();
+            let mut cx: Option<EvCtx> = None;
+            for chunk in rows.chunks((*batch_rows).max(1)) {
+                keys_out.clear();
+                if vp.run_batch(chunk, &mut scratch, &mut counts, &mut keys_out) {
+                    nvec += chunk.len() as u64;
+                    nbatches += 1;
+                    hks.extend(keys_out.drain(..).map(|k| (value_hash(&k), k)));
+                } else {
+                    let cx = cx.get_or_insert_with(|| key_prep.ctx(base));
+                    for row in chunk {
+                        let k = key_prep.call(std::slice::from_ref(row), cx, catalog)?;
+                        hks.push((value_hash(&k), k));
+                    }
+                }
+            }
+        }
+        None => {
+            let mut cx = key_prep.ctx(base);
+            for row in rows {
+                let k = key_prep.call(std::slice::from_ref(row), &mut cx, catalog)?;
+                hks.push((value_hash(&k), k));
+            }
+        }
+    }
+    Ok((hks, nvec, nbatches))
+}
+
+/// One `aggBy` combiner step: fold `row`'s contribution into the partial
+/// accumulator for key `k`. The caller supplies `k` (scalar or batch key
+/// path); the `sng`-then-`uni` evaluation order — and therefore the error
+/// interleaving — matches the reference row loop exactly.
+#[allow(clippy::too_many_arguments)]
+fn agg_absorb<'p, 'b>(
+    k: Value,
+    row: &Value,
+    sng: &PreparedScalar<'p>,
+    uni: &PreparedScalar<'p>,
+    scx: &mut EvCtx<'b>,
+    ucx: &mut EvCtx<'b>,
+    zero: &Value,
+    accs: &mut InsertionMap<Value, (u64, Value)>,
+    catalog: &Catalog,
+) -> Result<(), ValueError>
+where
+    'p: 'b,
+{
+    let h = value_hash(&k);
+    let s = sng.call(std::slice::from_ref(row), scx, catalog)?;
+    match accs.get_mut_hashed(h, &k) {
+        Some((_, acc)) => {
+            let merged = uni.call(&[acc.clone(), s], ucx, catalog)?;
+            *acc = merged;
+        }
+        None => {
+            let first = uni.call(&[zero.clone(), s], ucx, catalog)?;
+            accs.insert_hashed(h, &k, || (h, first));
+        }
+    }
+    Ok(())
 }
 
 /// The vectorized-tier view of a prepared Map/Filter stage: its compiled

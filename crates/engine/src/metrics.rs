@@ -119,6 +119,13 @@ pub struct ExecStats {
     /// type-specializable and fell back to the scalar compiled tier —
     /// "no silent slow paths": every fallback is visible here.
     pub vector_fallbacks: u64,
+    /// Wide-operator key-extraction sites (shuffle routing, join build/probe
+    /// keys, `aggBy` combining, `groupBy` grouping) that evaluated their key
+    /// UDF row-at-a-time while the vectorized tier was active — either the
+    /// key body resisted specialization or the site is scalar by design
+    /// (stateful routing, residual-predicate probes). The key-path analogue
+    /// of `vector_fallbacks`.
+    pub key_path_fallbacks: u64,
 }
 
 /// Attoseconds per second — the resolution of the simulated clock.
@@ -205,6 +212,7 @@ impl PartialEq for ExecStats {
             && self.rows_vectorized == other.rows_vectorized
             && self.batches_executed == other.batches_executed
             && self.vector_fallbacks == other.vector_fallbacks
+            && self.key_path_fallbacks == other.key_path_fallbacks
     }
 }
 
@@ -276,12 +284,15 @@ impl fmt::Display for ExecStats {
                 self.max_skew_ratio, self.partitions_split, self.split_rows_moved
             )?;
         }
-        if self.rows_vectorized > 0 || self.vector_fallbacks > 0 {
+        if self.rows_vectorized > 0 || self.vector_fallbacks > 0 || self.key_path_fallbacks > 0 {
             write!(
                 f,
                 "  vectorized={}r/{}b  vec_fallbacks={}",
                 self.rows_vectorized, self.batches_executed, self.vector_fallbacks
             )?;
+            if self.key_path_fallbacks > 0 {
+                write!(f, "  key_fallbacks={}", self.key_path_fallbacks)?;
+            }
         }
         Ok(())
     }
@@ -572,6 +583,14 @@ mod tests {
             ..Default::default()
         };
         assert!(fallback_only.to_string().contains("vec_fallbacks=3"));
+        // Key-path refusals appear only when any occurred.
+        assert!(!fallback_only.to_string().contains("key_fallbacks="));
+        let key_only = ExecStats {
+            key_path_fallbacks: 2,
+            ..Default::default()
+        };
+        let shown = key_only.to_string();
+        assert!(shown.contains("key_fallbacks=2"), "{shown}");
     }
 
     #[test]
@@ -581,6 +600,7 @@ mod tests {
             |s: &mut ExecStats| s.rows_vectorized = 1,
             |s: &mut ExecStats| s.batches_executed = 1,
             |s: &mut ExecStats| s.vector_fallbacks = 1,
+            |s: &mut ExecStats| s.key_path_fallbacks = 1,
         ] {
             let mut b = ExecStats::default();
             make(&mut b);

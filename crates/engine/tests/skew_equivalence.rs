@@ -16,7 +16,7 @@
 //!    independently under injected faults.
 
 use emma_compiler::bag_expr::{BagExpr, BagLambda};
-use emma_compiler::expr::{FoldOp, Lambda, ScalarExpr};
+use emma_compiler::expr::{BuiltinFn, FoldOp, Lambda, ScalarExpr};
 use emma_compiler::interp::Catalog;
 use emma_compiler::pipeline::{parallelize, CompiledProgram, OptimizerFlags};
 use emma_compiler::program::{Program, Stmt};
@@ -26,8 +26,11 @@ use emma_engine::cluster::{ClusterSpec, Personality};
 use emma_engine::dataset::value_hash;
 use emma_engine::exec::EngineRun;
 use emma_engine::skew::{self, SkewConfig};
-use emma_engine::{Engine, ExecStats, FaultConfig, ParallelismMode};
+use emma_engine::{BatchConfig, Engine, ExecStats, FaultConfig, ParallelismMode};
 use proptest::prelude::*;
+
+#[path = "../../../tests/common/string_exprs.rs"]
+mod string_exprs;
 
 fn tiny_engine() -> Engine {
     Engine::new(ClusterSpec::tiny(), Personality::sparrow()).with_parallelism_threshold(0)
@@ -324,8 +327,94 @@ fn split_sub_partitions_retry_independently_under_chaos() {
     );
 }
 
+/// Zeroes the vectorization telemetry — the only counters the batch tier is
+/// allowed to move relative to a scalar run.
+fn without_vec_telemetry(stats: &ExecStats) -> ExecStats {
+    let mut s = stats.clone();
+    s.rows_vectorized = 0;
+    s.batches_executed = 0;
+    s.vector_fallbacks = 0;
+    s.key_path_fallbacks = 0;
+    s
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // String-keyed wide operators under skew splitting, across the full
+    // thread × mode matrix: the vectorized key path must agree with the
+    // scalar tier on rows, scalars, errors, every cost counter, and the
+    // exact clock bits — its only trace may be the vectorization telemetry.
+    #[test]
+    fn string_keyed_split_workloads_match_across_tiers(
+        key in string_exprs::key_body(),
+        rows in prop::collection::vec(string_exprs::string_row(), 300..800),
+    ) {
+        let catalog = Catalog::new().with("rows", rows);
+        let x = || ScalarExpr::var("x");
+        let program = Program::new(vec![
+            Stmt::write(
+                "groups",
+                BagExpr::read("rows").group_by(Lambda::new(["x"], key)),
+            ),
+            Stmt::write(
+                "keys",
+                BagExpr::read("rows")
+                    .map(Lambda::new(["x"], x().get(1)))
+                    .distinct(),
+            ),
+            Stmt::val(
+                "total",
+                BagExpr::read("rows")
+                    .map(Lambda::new(
+                        ["x"],
+                        ScalarExpr::call(BuiltinFn::StrLen, vec![x().get(2)]),
+                    ))
+                    .sum(),
+            ),
+        ]);
+        let prog = compile(&program, true);
+        let cfg = SkewConfig::default().with_min_part_rows(32);
+        let scalar = tiny_engine().with_skew_splitting(cfg).run(&prog, &catalog);
+        let mut vec_runs = Vec::new();
+        for (mode, threads) in MATRIX {
+            let engine = tiny_engine()
+                .with_parallelism_mode(mode)
+                .with_worker_threads(Some(threads))
+                .with_skew_splitting(cfg)
+                .with_vectorized_eval(BatchConfig::new(64));
+            vec_runs.push(engine.run(&prog, &catalog));
+        }
+        match &scalar {
+            // A generated key body may error (e.g. division by a zero
+            // column); the vectorized replay must surface the same error.
+            Err(e) => {
+                for vr in &vec_runs {
+                    match vr {
+                        Err(ve) => prop_assert_eq!(format!("{e:?}"), format!("{ve:?}")),
+                        Ok(_) => prop_assert!(
+                            false,
+                            "vectorized run succeeded where the scalar tier failed"
+                        ),
+                    }
+                }
+            }
+            Ok(s) => {
+                let first = vec_runs[0].as_ref().expect("vectorized run");
+                for vr in &vec_runs {
+                    let v = vr.as_ref().expect("vectorized run");
+                    prop_assert_eq!(&v.writes, &s.writes);
+                    prop_assert_eq!(&v.scalars, &s.scalars);
+                    prop_assert_eq!(without_vec_telemetry(&v.stats), s.stats.clone());
+                    prop_assert_eq!(&v.stats, &first.stats);
+                    prop_assert_eq!(
+                        v.stats.simulated_secs.to_bits(),
+                        s.stats.simulated_secs.to_bits()
+                    );
+                }
+            }
+        }
+    }
 
     // Any (size, exponent, seed) point: splitting on vs. off agrees on rows
     // and scalars across the full thread × mode matrix and both evaluation

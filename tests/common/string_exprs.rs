@@ -1,0 +1,167 @@
+//! Shared proptest generator for string-bearing scalar programs, used by the
+//! cross-tier differential suites (`compiled_differential`,
+//! `skew_equivalence`, `vectorized_strings`) via `#[path]` includes.
+//!
+//! Rows are 4-slot tuples `(Int, Str, Str, Int)` and the expression
+//! strategies are *typed*: each one produces expressions of a single value
+//! type over those slots, drawn from the concat-free string subset —
+//! `strlen`, `contains`, equality/comparison, and `hashOf` over `Str`
+//! operands, plus mixed integer arithmetic. Staying inside that subset keeps
+//! most generated bodies specializable by the vectorized tier, so the
+//! differential suites exercise the string kernels themselves rather than
+//! only the refusal path; the deliberately chaotic row strategy then forces
+//! shape aborts and scalar replays mid-stream.
+//!
+//! Depends only on `emma_compiler` and `proptest`, so every test crate in
+//! the workspace can include it.
+
+#![allow(dead_code)]
+
+use emma_compiler::expr::{BuiltinFn, ScalarExpr};
+use emma_compiler::value::Value;
+use proptest::prelude::*;
+
+fn x() -> ScalarExpr {
+    ScalarExpr::var("x")
+}
+
+/// Short ASCII strings, biased toward shared prefixes and the literals the
+/// generated `contains` calls probe for — so comparisons and containment
+/// genuinely go both ways, and the empty string shows up often.
+pub fn small_string() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        "[ab]{1,3}",
+        "[a-e]{0,8}",
+        Just("gmail.com".to_string()),
+        Just("ab.cd".to_string()),
+    ]
+}
+
+/// A conforming row: `(Int, Str, Str, Int)`.
+pub fn string_row() -> impl Strategy<Value = Value> {
+    ((-8i64..=8), small_string(), small_string(), (-3i64..=3)).prop_map(|(a, s, t, b)| {
+        Value::tuple(vec![
+            Value::Int(a),
+            Value::str(s),
+            Value::str(t),
+            Value::Int(b),
+        ])
+    })
+}
+
+/// Mostly conforming rows with occasional shape breaks (short tuples, a
+/// float where an int is expected, bare `Null`s) to force batch aborts and
+/// row-at-a-time scalar replays mid-stream.
+pub fn chaotic_row() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        string_row(),
+        Just(Value::Null),
+        ((-8i64..=8), (-8i64..=8))
+            .prop_map(|(a, b)| Value::tuple(vec![Value::Int(a), Value::Int(b)])),
+        (
+            (-8i64..=8),
+            small_string(),
+            small_string(),
+            prop_oneof![Just(-2.5f64), Just(1.5)]
+        )
+            .prop_map(|(a, s, t, f)| Value::tuple(vec![
+                Value::Int(a),
+                Value::str(s),
+                Value::str(t),
+                Value::Float(f),
+            ])),
+    ]
+}
+
+/// A `Str`-typed expression. The subset is concat-free, so strings are only
+/// ever read — column slots 1 and 2, or a literal.
+pub fn str_expr() -> impl Strategy<Value = ScalarExpr> {
+    prop_oneof![
+        Just(x().get(1)),
+        Just(x().get(2)),
+        small_string().prop_map(|s| ScalarExpr::lit(Value::str(s))),
+    ]
+}
+
+/// An `Int`-typed expression over the numeric and string slots. Division and
+/// modulo are included deliberately: a zero divisor is the suite's main
+/// in-batch error trigger.
+pub fn int_expr(depth: u32) -> BoxedStrategy<ScalarExpr> {
+    let leaf = prop_oneof![
+        Just(x().get(0)),
+        Just(x().get(3)),
+        (-8i64..=8).prop_map(|i| ScalarExpr::lit(Value::Int(i))),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        leaf,
+        str_expr().prop_map(|s| ScalarExpr::call(BuiltinFn::StrLen, vec![s])),
+        str_expr().prop_map(|s| ScalarExpr::call(BuiltinFn::HashOf, vec![s])),
+        (int_expr(depth - 1), int_expr(depth - 1), 0u8..5).prop_map(|(a, b, op)| match op {
+            0 => a.add(b),
+            1 => a.sub(b),
+            2 => a.mul(b),
+            3 => a.div(b),
+            _ => a.rem(b),
+        }),
+        (
+            bool_expr(depth - 1),
+            int_expr(depth - 1),
+            int_expr(depth - 1)
+        )
+            .prop_map(|(c, t, e)| ScalarExpr::If(Box::new(c), Box::new(t), Box::new(e))),
+    ]
+    .boxed()
+}
+
+/// A `Bool`-typed expression: string equality/comparison and containment,
+/// integer comparisons, and the boolean connectives.
+pub fn bool_expr(depth: u32) -> BoxedStrategy<ScalarExpr> {
+    let strcmp = (str_expr(), str_expr(), 0u8..6).prop_map(|(a, b, op)| match op {
+        0 => a.eq(b),
+        1 => a.ne(b),
+        2 => a.lt(b),
+        3 => a.le(b),
+        4 => a.gt(b),
+        _ => a.ge(b),
+    });
+    let contains = (str_expr(), str_expr())
+        .prop_map(|(h, n)| ScalarExpr::call(BuiltinFn::StrContains, vec![h, n]));
+    if depth == 0 {
+        return prop_oneof![strcmp, contains].boxed();
+    }
+    prop_oneof![
+        strcmp,
+        contains,
+        (int_expr(depth - 1), int_expr(depth - 1), 0u8..4).prop_map(|(a, b, op)| match op {
+            0 => a.eq(b),
+            1 => a.lt(b),
+            2 => a.ge(b),
+            _ => a.ne(b),
+        }),
+        (bool_expr(depth - 1), bool_expr(depth - 1), any::<bool>())
+            .prop_map(|(a, b, and)| if and { a.and(b) } else { a.or(b) }),
+        bool_expr(depth - 1).prop_map(|a| a.not()),
+    ]
+    .boxed()
+}
+
+/// A Map body over the string rows: `Int`-, `Bool`-, or `Str`-typed, or a
+/// two-slot tuple mixing an int with a string.
+pub fn map_body() -> impl Strategy<Value = ScalarExpr> {
+    prop_oneof![
+        int_expr(2),
+        bool_expr(2),
+        str_expr(),
+        (int_expr(1), str_expr()).prop_map(|(i, s)| ScalarExpr::Tuple(vec![i, s])),
+    ]
+}
+
+/// A grouping/join key body: a string column, a derived integer, or a
+/// boolean — all shapes the wide operators hash.
+pub fn key_body() -> impl Strategy<Value = ScalarExpr> {
+    prop_oneof![str_expr(), int_expr(1), bool_expr(1),]
+}

@@ -1,0 +1,426 @@
+//! Cross-tier differential harness for the string kernels and the
+//! vectorized key path.
+//!
+//! One place asserts the whole contract: for generated string-bearing
+//! programs (shared typed generator in `tests/common/string_exprs.rs`), the
+//! reference interpreter, the scalar compiled tier, and the vectorized tier
+//! must agree on every sink's values; the two engine tiers must additionally
+//! agree on errors, on every cost-model counter, and on the exact bit
+//! pattern of the simulated clock — across 1/2/4 worker threads, both
+//! dispatch modes, injected chaos, and skew splitting. The batch tier's only
+//! permitted trace is its own telemetry (`rows_vectorized`,
+//! `batches_executed`, `vector_fallbacks`, `key_path_fallbacks`).
+//!
+//! The deterministic tests pin the refusal counters site by site: a fully
+//! string-vectorizable plan reports zero fallbacks, a non-specializable map
+//! body bumps `vector_fallbacks`, a residual-predicate probe (scalar by
+//! design) bumps `key_path_fallbacks`, and the length-aware `contains` cost
+//! is identical across tiers while growing with input bytes.
+
+mod common;
+#[path = "common/string_exprs.rs"]
+mod string_exprs;
+
+use emma::prelude::*;
+use emma_engine::ParallelismMode;
+use proptest::prelude::*;
+
+/// The thread-count × dispatch-mode matrix every determinism check spans.
+const MATRIX: [(ParallelismMode, usize); 6] = [
+    (ParallelismMode::Pool, 1),
+    (ParallelismMode::Pool, 2),
+    (ParallelismMode::Pool, 4),
+    (ParallelismMode::PerOperator, 1),
+    (ParallelismMode::PerOperator, 2),
+    (ParallelismMode::PerOperator, 4),
+];
+
+fn engine() -> Engine {
+    common::tiny_engine(Personality::sparrow())
+}
+
+fn x() -> ScalarExpr {
+    ScalarExpr::var("x")
+}
+
+/// Zeroes the vectorization telemetry — the only counters the batch tier is
+/// allowed to move relative to a scalar run.
+fn without_vec_telemetry(stats: &ExecStats) -> ExecStats {
+    let mut s = stats.clone();
+    s.rows_vectorized = 0;
+    s.batches_executed = 0;
+    s.vector_fallbacks = 0;
+    s.key_path_fallbacks = 0;
+    s
+}
+
+/// The generated workload: a map, a filter, a `groupBy`, a fused
+/// group-aggregate, a broadcast join on a string key, and a `distinct` —
+/// every operator family the string kernels and the key path touch.
+fn string_program(
+    map_body: ScalarExpr,
+    filter_body: ScalarExpr,
+    key_body: ScalarExpr,
+    rows: Vec<Value>,
+) -> (Program, Catalog) {
+    let dims: Vec<Value> = ["", "a", "b", "ab", "ba", "abc"]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Value::tuple(vec![Value::str(*s), Value::Int(i as i64)]))
+        .collect();
+    let catalog = Catalog::new().with("rows", rows).with("dims", dims);
+    let join_inner = BagExpr::read("dims")
+        .filter(Lambda::new(
+            ["d"],
+            x().get(1).eq(ScalarExpr::var("d").get(0)),
+        ))
+        .map(Lambda::new(
+            ["d"],
+            ScalarExpr::Tuple(vec![x().get(0), ScalarExpr::var("d").get(1)]),
+        ));
+    let program = Program::new(vec![
+        Stmt::write(
+            "mapped",
+            BagExpr::read("rows").map(Lambda::new(["x"], map_body)),
+        ),
+        Stmt::write(
+            "kept",
+            BagExpr::read("rows").filter(Lambda::new(["x"], filter_body)),
+        ),
+        Stmt::write(
+            "groups",
+            BagExpr::read("rows").group_by(Lambda::new(["x"], key_body.clone())),
+        ),
+        Stmt::write(
+            "agg",
+            BagExpr::read("rows")
+                .group_by(Lambda::new(["x"], key_body))
+                .map(Lambda::new(
+                    ["g"],
+                    ScalarExpr::Tuple(vec![
+                        ScalarExpr::var("g").get(0),
+                        BagExpr::of_value(ScalarExpr::var("g").get(1)).count(),
+                    ]),
+                )),
+        ),
+        Stmt::write(
+            "joined",
+            BagExpr::read("rows").flat_map(BagLambda::new("x", join_inner)),
+        ),
+        Stmt::write(
+            "keys",
+            BagExpr::read("rows")
+                .map(Lambda::new(["x"], x().get(1)))
+                .distinct(),
+        ),
+    ]);
+    (program, catalog)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // The headline: interp vs compiled vs vectorized over generated string
+    // programs, across the thread × mode matrix, with and without chaos,
+    // with and without skew splitting — values, errors, counters, and the
+    // simulated clock bits all checked in one place.
+    #[test]
+    fn cross_tier_differential_on_string_programs(
+        map_body in string_exprs::map_body(),
+        filter_body in string_exprs::bool_expr(2),
+        key_body in string_exprs::key_body(),
+        rows in prop::collection::vec(string_exprs::string_row(), 150..400),
+        chaos_seed in any::<u64>(),
+    ) {
+        let (p, catalog) = string_program(map_body, filter_body, key_body, rows);
+        let interp = Interp::new(&catalog).run(&p);
+        let prog = parallelize(&p, &OptimizerFlags::all().with_compiled_eval(true));
+        let skew_cfg = SkewConfig::default().with_min_part_rows(32);
+
+        for chaos in [None, Some(FaultConfig::chaos(chaos_seed))] {
+            for skew_on in [false, true] {
+                let mk = |vec_on: bool, mode: ParallelismMode, threads: usize| {
+                    let mut e = engine()
+                        .with_parallelism_mode(mode)
+                        .with_worker_threads(Some(threads));
+                    if let Some(cfg) = chaos {
+                        e = e.with_faults(cfg);
+                    }
+                    if skew_on {
+                        e = e.with_skew_splitting(skew_cfg);
+                    }
+                    if vec_on {
+                        e = e.with_vectorized_eval(BatchConfig::new(64));
+                    }
+                    e.run(&prog, &catalog)
+                };
+                let scalar = mk(false, ParallelismMode::Pool, 2);
+                let vec_runs: Vec<_> =
+                    MATRIX.iter().map(|&(m, t)| mk(true, m, t)).collect();
+
+                match &scalar {
+                    // A generated body may error (e.g. divide by a zero
+                    // column). The interpreter must agree that the program
+                    // errors, and every vectorized run must reproduce the
+                    // scalar tier's error exactly — that is the replay
+                    // contract.
+                    Err(e) => {
+                        prop_assert!(
+                            interp.is_err(),
+                            "engine errored but the interpreter succeeded: {e:?}"
+                        );
+                        for vr in &vec_runs {
+                            match vr {
+                                Err(ve) => {
+                                    prop_assert_eq!(format!("{e:?}"), format!("{ve:?}"));
+                                }
+                                Ok(_) => prop_assert!(
+                                    false,
+                                    "vectorized run succeeded where the scalar tier failed"
+                                ),
+                            }
+                        }
+                    }
+                    Ok(s) => {
+                        // Values: engine sinks match the interpreter as
+                        // multisets (partitioned operators concatenate in
+                        // hash order, not input order).
+                        let want = interp.as_ref().expect("interp agrees the program runs");
+                        for (sink, rows) in &want.writes {
+                            prop_assert_eq!(
+                                Value::bag(rows.clone()),
+                                Value::bag(s.writes[sink].clone()),
+                                "sink {} diverges from the interpreter",
+                                sink
+                            );
+                        }
+                        let first = vec_runs[0].as_ref().expect("vectorized run");
+                        // With the tier on, every run either vectorizes rows
+                        // or visibly counts its refusals.
+                        prop_assert!(
+                            first.stats.rows_vectorized
+                                + first.stats.vector_fallbacks
+                                + first.stats.key_path_fallbacks
+                                > 0,
+                            "vectorized tier neither engaged nor reported"
+                        );
+                        for vr in &vec_runs {
+                            let v = vr.as_ref().expect("vectorized run");
+                            prop_assert_eq!(&v.writes, &s.writes);
+                            prop_assert_eq!(&v.scalars, &s.scalars);
+                            prop_assert_eq!(without_vec_telemetry(&v.stats), s.stats.clone());
+                            prop_assert_eq!(&v.stats, &first.stats);
+                            prop_assert_eq!(
+                                v.stats.simulated_secs.to_bits(),
+                                s.stats.simulated_secs.to_bits(),
+                                "vectorization moved the clock"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rows shaped like the email workload: `(id, "user<i>@<domain>", domain,
+/// small int)` over five distinct domains — string-dictionary friendly.
+fn email_rows(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            let domain = match i % 5 {
+                0 => "gmail.com",
+                1 => "yahoo.com",
+                2 => "corp.example",
+                3 => "dev.null",
+                _ => "mail.net",
+            };
+            Value::tuple(vec![
+                Value::Int(i as i64),
+                Value::str(format!("user{i}@{domain}")),
+                Value::str(domain),
+                Value::Int((i % 7) as i64),
+            ])
+        })
+        .collect()
+}
+
+/// A plan built entirely from the vectorizable string surface — a fused
+/// `contains` filter + `strlen` map and a string-keyed fused group-aggregate
+/// — must engage the batch tier with *zero* refusals on either counter,
+/// while reproducing the scalar tier bit-for-bit.
+#[test]
+fn fully_vectorized_string_plan_reports_zero_fallbacks() {
+    let catalog = Catalog::new().with("rows", email_rows(3_000));
+    let p = Program::new(vec![
+        Stmt::write(
+            "kept",
+            BagExpr::read("rows")
+                .filter(Lambda::new(
+                    ["x"],
+                    ScalarExpr::call(
+                        BuiltinFn::StrContains,
+                        vec![x().get(1), ScalarExpr::lit(Value::str("gmail.com"))],
+                    ),
+                ))
+                .map(Lambda::new(
+                    ["x"],
+                    ScalarExpr::call(BuiltinFn::StrLen, vec![x().get(1)]).add(x().get(3)),
+                )),
+        ),
+        Stmt::write(
+            "agg",
+            BagExpr::read("rows")
+                .group_by(Lambda::new(["x"], x().get(2)))
+                .map(Lambda::new(
+                    ["g"],
+                    ScalarExpr::Tuple(vec![
+                        ScalarExpr::var("g").get(0),
+                        BagExpr::of_value(ScalarExpr::var("g").get(1)).count(),
+                    ]),
+                )),
+        ),
+    ]);
+    let prog = parallelize(&p, &OptimizerFlags::all().with_compiled_eval(true));
+    let scalar = engine().run(&prog, &catalog).expect("scalar");
+    let vec = engine()
+        .with_vectorized_eval(BatchConfig::new(256))
+        .run(&prog, &catalog)
+        .expect("vectorized");
+    assert_eq!(vec.stats.vector_fallbacks, 0, "{}", vec.stats);
+    assert_eq!(vec.stats.key_path_fallbacks, 0, "{}", vec.stats);
+    assert!(vec.stats.rows_vectorized > 0, "{}", vec.stats);
+    assert_eq!(vec.writes, scalar.writes);
+    assert_eq!(
+        vec.stats.simulated_secs.to_bits(),
+        scalar.stats.simulated_secs.to_bits()
+    );
+}
+
+/// A map body carrying a nested fold resists specialization: the refusal
+/// lands in `vector_fallbacks`, never in the key-path counter.
+#[test]
+fn non_specializable_string_body_bumps_vector_fallbacks() {
+    let catalog = Catalog::new().with("rows", email_rows(400));
+    let nested = ScalarExpr::Fold(
+        Box::new(BagExpr::Values(vec![Value::Int(1), Value::Int(2)])),
+        Box::new(FoldOp::count()),
+    )
+    .add(ScalarExpr::call(BuiltinFn::StrLen, vec![x().get(1)]));
+    let p = Program::new(vec![Stmt::write(
+        "out",
+        BagExpr::read("rows").map(Lambda::new(["x"], nested)),
+    )]);
+    let prog = parallelize(&p, &OptimizerFlags::all().with_compiled_eval(true));
+    let scalar = engine().run(&prog, &catalog).expect("scalar");
+    let vec = engine()
+        .with_vectorized_eval(BatchConfig::new(128))
+        .run(&prog, &catalog)
+        .expect("vectorized");
+    assert!(vec.stats.vector_fallbacks >= 1, "{}", vec.stats);
+    assert_eq!(vec.stats.key_path_fallbacks, 0, "{}", vec.stats);
+    assert_eq!(vec.writes, scalar.writes);
+    assert_eq!(
+        vec.stats.simulated_secs.to_bits(),
+        scalar.stats.simulated_secs.to_bits()
+    );
+}
+
+/// A join with a residual predicate keeps its probe loop scalar by design
+/// (residual errors interleave with probe-key errors in row order); the
+/// site must be visible in `key_path_fallbacks`.
+#[test]
+fn residual_probe_is_scalar_by_design_and_counted() {
+    let catalog = Catalog::new().with("rows", email_rows(600)).with(
+        "dims",
+        vec![
+            Value::tuple(vec![Value::str("gmail.com"), Value::Int(3)]),
+            Value::tuple(vec![Value::str("dev.null"), Value::Int(5)]),
+        ],
+    );
+    let join_inner = BagExpr::read("dims")
+        .filter(Lambda::new(
+            ["d"],
+            x().get(2)
+                .eq(ScalarExpr::var("d").get(0))
+                .and(x().get(3).lt(ScalarExpr::var("d").get(1))),
+        ))
+        .map(Lambda::new(["d"], ScalarExpr::var("d").get(1)));
+    let p = Program::new(vec![Stmt::write(
+        "joined",
+        BagExpr::read("rows").flat_map(BagLambda::new("x", join_inner)),
+    )]);
+    let prog = parallelize(&p, &OptimizerFlags::all().with_compiled_eval(true));
+    let scalar = engine().run(&prog, &catalog).expect("scalar");
+    let vec = engine()
+        .with_vectorized_eval(BatchConfig::new(128))
+        .run(&prog, &catalog)
+        .expect("vectorized");
+    assert!(vec.stats.key_path_fallbacks >= 1, "{}", vec.stats);
+    assert_eq!(vec.writes, scalar.writes);
+    assert_eq!(
+        vec.stats.simulated_secs.to_bits(),
+        scalar.stats.simulated_secs.to_bits()
+    );
+}
+
+/// `contains` charges per input byte, identically in both tiers: the charge
+/// beyond a byte-free predicate over the *same* rows grows with string
+/// length, and vectorizing never moves the clock.
+#[test]
+fn strcontains_cost_is_length_aware_and_tier_identical() {
+    let rows = |len: usize| -> Vec<Value> {
+        (0..2_000i64)
+            .map(|i| Value::tuple(vec![Value::Int(i), Value::str("a".repeat(len))]))
+            .collect()
+    };
+    let contains_prog = Program::new(vec![Stmt::write(
+        "kept",
+        BagExpr::read("rows").filter(Lambda::new(
+            ["x"],
+            ScalarExpr::call(
+                BuiltinFn::StrContains,
+                vec![x().get(1), ScalarExpr::lit(Value::str("zz"))],
+            ),
+        )),
+    )]);
+    let byte_free_prog = Program::new(vec![Stmt::write(
+        "kept",
+        BagExpr::read("rows").filter(Lambda::new(
+            ["x"],
+            // Rejects every row, like the `contains("zz")` probe, so the two
+            // programs differ only in the predicate's own charge.
+            x().get(0).lt(ScalarExpr::lit(Value::Int(0))),
+        )),
+    )]);
+    let run = |p: &Program, len: usize, vec_on: bool| {
+        let catalog = Catalog::new().with("rows", rows(len));
+        let prog = parallelize(p, &OptimizerFlags::all().with_compiled_eval(true));
+        let mut e = engine();
+        if vec_on {
+            e = e.with_vectorized_eval(BatchConfig::new(256));
+        }
+        e.run(&prog, &catalog).expect("run")
+    };
+    // Tier bit-identity at both lengths.
+    for len in [4usize, 256] {
+        let scalar = run(&contains_prog, len, false);
+        let vectorized = run(&contains_prog, len, true);
+        assert_eq!(
+            scalar.stats.simulated_secs.to_bits(),
+            vectorized.stats.simulated_secs.to_bits(),
+            "len {len}: vectorizing `contains` moved the clock"
+        );
+    }
+    // Length-awareness: subtracting a byte-free predicate over identical
+    // rows isolates the per-byte charge, which must grow with the strings.
+    let surcharge = |len: usize| {
+        run(&contains_prog, len, false).stats.simulated_secs
+            - run(&byte_free_prog, len, false).stats.simulated_secs
+    };
+    let (short, long) = (surcharge(4), surcharge(256));
+    assert!(
+        long > short,
+        "contains surcharge must grow with haystack bytes: {short} vs {long}"
+    );
+}
